@@ -1,0 +1,114 @@
+// gfdbench runs the paper's experiment sweeps (Section 7) and prints
+// paper-style tables. Each -exp value corresponds to a figure or table of
+// the evaluation; `-exp all` runs everything.
+//
+// Usage:
+//
+//	gfdbench -exp fig5a          # time vs n on the DBpedia stand-in
+//	gfdbench -exp fig9 -scale 400
+//	gfdbench -exp all -scale 200 # quick full sweep
+//
+// See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gfd/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|all")
+		scale   = flag.Int("scale", 250, "dataset scale")
+		rules   = flag.Int("rules", 8, "rule count ‖Σ‖")
+		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		twoFrac = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
+	)
+	flag.Parse()
+
+	base := func(dataset string) exp.Config {
+		return exp.Config{
+			Dataset: dataset, Scale: *scale, Rules: *rules,
+			PatternSize: *qsize, TwoCompFrac: *twoFrac, Seed: *seed,
+		}
+	}
+
+	run := map[string]func(){
+		"fig5a": func() { fmt.Println(exp.Fig5VaryN(base("dbpedia"), nil)) },
+		"fig5b": func() { fmt.Println(exp.Fig5VaryN(base("yago2"), nil)) },
+		"fig5c": func() { fmt.Println(exp.Fig5VaryN(base("pokec"), nil)) },
+		"fig5sigma": func() {
+			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
+				fmt.Println(exp.Fig5VarySigma(base(ds), nil))
+			}
+		},
+		"fig5q": func() {
+			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
+				fmt.Println(exp.Fig5VaryQ(base(ds), nil))
+			}
+		},
+		"fig5comm": func() {
+			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
+				fmt.Println(exp.Fig5Comm(base(ds), nil))
+			}
+		},
+		"fig6": func() {
+			c := base("synthetic")
+			c.Scale = *scale / 2
+			fmt.Println(exp.Fig6ScaleG(c, nil))
+		},
+		"fig7": func() {
+			fmt.Println("Fig 7 — real-life GFDs on the YAGO2 stand-in")
+			fmt.Printf("%-28s%10s%12s%8s\n", "rule", "injected", "violations", "caught")
+			for _, f := range exp.Fig7RealLife(*scale, 5, *seed) {
+				fmt.Printf("%-28s%10d%12d%8d\n", f.Rule, f.Injected, f.Violations, f.Caught)
+			}
+			fmt.Println()
+		},
+		"fig8": func() { fmt.Println(exp.Fig8Skew(base("synthetic"), nil)) },
+		"fig9": func() {
+			c := base("yago2")
+			c.TwoCompFrac = 0.5
+			c.Rules = max(*rules, 12)
+			c.NoiseRate = 0.05
+			fmt.Println("Fig 9 — accuracy and time vs baselines (YAGO2 stand-in)")
+			fmt.Printf("%-12s%8s%8s%8s%12s\n", "model", "recall", "prec.", "rules", "time")
+			for _, r := range exp.Fig9Accuracy(c) {
+				fmt.Printf("%-12s%8.2f%8.2f%8d%12v\n", r.Model, r.Recall, r.Precision, r.Rules, r.Time.Round(0))
+			}
+			fmt.Println()
+		},
+		"speedup": func() {
+			fmt.Println("Exp-1 — parallel speedup n=4 -> n=20")
+			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
+				t := exp.Fig5VaryN(base(ds), []int{4, 20})
+				s := exp.SpeedupSummary(t)
+				fmt.Printf("%-10s", ds)
+				for _, alg := range exp.SixAlgorithms {
+					fmt.Printf("  %s=%.2fx", alg, s[alg])
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		},
+	}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
+			"fig6", "fig7", "fig8", "fig9", "speedup"}
+	}
+	for _, name := range names {
+		f, ok := run[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gfdbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		f()
+	}
+}

@@ -1,0 +1,230 @@
+// Package gfd is a Go implementation of graph functional dependencies
+// (GFDs) as introduced by Fan, Wu & Xu, "Functional Dependencies for
+// Graphs" (SIGMOD 2016).
+//
+// A GFD ϕ = (Q[x̄], X → Y) combines a topological constraint — a graph
+// pattern Q matched by subgraph isomorphism — with an attribute dependency
+// X → Y whose literals are x.A = c (constant, as in CFDs) or x.A = y.B
+// (variable, as in FDs). The package provides:
+//
+//   - the property-graph model and a text format (NewGraph, ReadGraph);
+//   - pattern construction and the GFD rule language (NewPattern, NewGFD,
+//     ParseRules);
+//   - the classical static analyses: Satisfiable and Implies, plus the
+//     implication-based rule-set Reduce;
+//   - error detection: sequential Validate, parallel ValidateParallel
+//     (replicated graphs, Theorem 10) and ValidateFragmented (partitioned
+//     graphs, Theorem 11), all returning the violation set Vio(Σ, G);
+//   - workload tooling: Partition for fragmenting graphs, MineGFDs for
+//     generating rules from frequent graph features, and the generators
+//     and noise injection used by the reproduction benchmarks.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package gfd
+
+import (
+	"context"
+	"io"
+
+	"gfd/internal/core"
+	"gfd/internal/fragment"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+	"gfd/internal/incremental"
+	"gfd/internal/pattern"
+	"gfd/internal/reason"
+	"gfd/internal/repair"
+	"gfd/internal/validate"
+)
+
+// Core data-model types, re-exported for library users.
+type (
+	// Graph is a directed property graph G = (V, E, L, F_A).
+	Graph = graph.Graph
+	// NodeID identifies a node of a Graph.
+	NodeID = graph.NodeID
+	// Attrs is a node's attribute tuple.
+	Attrs = graph.Attrs
+	// Edge is a directed labeled edge.
+	Edge = graph.Edge
+	// NodeSet is a set of nodes (data blocks, violation entities).
+	NodeSet = graph.NodeSet
+
+	// Pattern is a graph pattern Q[x̄].
+	Pattern = pattern.Pattern
+	// Var is a pattern variable.
+	Var = pattern.Var
+
+	// Literal is an equality atom of a dependency.
+	Literal = core.Literal
+	// GFD is a graph functional dependency (Q[x̄], X → Y).
+	GFD = core.GFD
+	// Set is a named collection Σ of GFDs.
+	Set = core.Set
+	// Match is an instantiation h(x̄) of a pattern in a graph.
+	Match = core.Match
+
+	// Violation is one inconsistency: a match violating some rule.
+	Violation = validate.Violation
+	// Report is a violation set Vio(Σ, G).
+	Report = validate.Report
+	// Options configures the parallel validators.
+	Options = validate.Options
+	// Result carries violations plus engine instrumentation.
+	Result = validate.Result
+
+	// Fragmentation is an n-way partition of a graph across workers.
+	Fragmentation = fragment.Fragmentation
+
+	// Conflict explains an unsatisfiable rule set.
+	Conflict = reason.Conflict
+)
+
+// Wildcard is the pattern label '_' matching any node or edge label.
+const Wildcard = pattern.Wildcard
+
+// NewGraph returns an empty graph with capacity hints.
+func NewGraph(nodeHint, edgeHint int) *Graph { return graph.New(nodeHint, edgeHint) }
+
+// ReadGraph parses the line-oriented graph text format.
+func ReadGraph(r io.Reader) (*Graph, map[string]NodeID, error) { return graph.Read(r) }
+
+// WriteGraph serializes a graph in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// NewPattern returns an empty graph pattern.
+func NewPattern() *Pattern { return pattern.New() }
+
+// Const builds the constant literal x.A = c.
+func Const(x Var, a, c string) Literal { return core.Const(x, a, c) }
+
+// VarEq builds the variable literal x.A = y.B.
+func VarEq(x Var, a string, y Var, b string) Literal { return core.VarEq(x, a, y, b) }
+
+// NewGFD constructs and validates a GFD.
+func NewGFD(name string, q *Pattern, x, y []Literal) (*GFD, error) {
+	return core.New(name, q, x, y)
+}
+
+// MustGFD is NewGFD that panics on error.
+func MustGFD(name string, q *Pattern, x, y []Literal) *GFD {
+	return core.MustNew(name, q, x, y)
+}
+
+// NewSet builds a rule set from rules with unique names.
+func NewSet(rules ...*GFD) (*Set, error) { return core.NewSet(rules...) }
+
+// MustSet is NewSet that panics on error.
+func MustSet(rules ...*GFD) *Set { return core.MustNewSet(rules...) }
+
+// ParseRules reads a GFD rule file.
+func ParseRules(r io.Reader) (*Set, error) { return core.ParseRules(r) }
+
+// WriteRules serializes a rule set in the rule-file format.
+func WriteRules(w io.Writer, s *Set) error { return core.WriteRules(w, s) }
+
+// FromFD encodes a relational FD R(lhs → rhs) as a GFD (Example 5, ϕ4).
+func FromFD(name, relation string, lhs, rhs []string) *GFD {
+	return core.FromFD(name, relation, lhs, rhs)
+}
+
+// CFDCondition is a fixed attribute binding of a CFD pattern tuple.
+type CFDCondition = core.CFDCondition
+
+// FromCFD encodes a two-tuple CFD as a GFD (Example 5, ϕ4').
+func FromCFD(name, relation string, conds []CFDCondition, lhs, rhs []string) *GFD {
+	return core.FromCFD(name, relation, conds, lhs, rhs)
+}
+
+// FromConstantCFD encodes a single-tuple constant CFD (Example 5, ϕ4”).
+func FromConstantCFD(name, relation string, conds, consequent []CFDCondition) *GFD {
+	return core.FromConstantCFD(name, relation, conds, consequent)
+}
+
+// RequireAttr builds the GFD forcing every node of a type to carry an
+// attribute (Section 3, special case 3).
+func RequireAttr(name, typ, attr string) *GFD { return core.RequireAttr(name, typ, attr) }
+
+// Satisfiable decides whether Σ has a model (Theorem 1). The returned
+// Conflict is non-nil exactly when the set is unsatisfiable.
+func Satisfiable(s *Set) (bool, *Conflict) { return reason.Satisfiable(s) }
+
+// Implies decides Σ |= ϕ (Theorem 5). Σ is assumed satisfiable.
+func Implies(s *Set, f *GFD) bool { return reason.Implies(s, f) }
+
+// Reduce removes rules implied by the rest of the set — the workload
+// reduction optimization.
+func Reduce(s *Set) *Set { return reason.Reduce(s) }
+
+// Validate runs the sequential detector detVio and returns Vio(Σ, G).
+func Validate(g *Graph, s *Set) Report { return validate.DetVio(g, s) }
+
+// ValidateCtx is Validate with cancellation (the sequential algorithm can
+// run for a very long time on large graphs).
+func ValidateCtx(ctx context.Context, g *Graph, s *Set) (Report, error) {
+	return validate.DetVioCtx(ctx, g, s)
+}
+
+// Satisfies reports G |= Σ: no rule has a violation.
+func Satisfies(g *Graph, s *Set) bool { return validate.Satisfies(g, s) }
+
+// ValidateParallel runs repVal: parallel scalable detection over a graph
+// replicated at every worker.
+func ValidateParallel(g *Graph, s *Set, opt Options) *Result {
+	return validate.RepVal(g, s, opt)
+}
+
+// Partition fragments a graph into n fragments by node hashing, for
+// ValidateFragmented.
+func Partition(g *Graph, n int) *Fragmentation {
+	return fragment.Partition(g, n, fragment.Hash)
+}
+
+// ValidateFragmented runs disVal: parallel detection over a fragmented
+// graph, balancing load and minimizing simulated data shipment.
+func ValidateFragmented(g *Graph, frag *Fragmentation, s *Set, opt Options) *Result {
+	return validate.DisVal(g, frag, s, opt)
+}
+
+// MineConfig configures rule mining.
+type MineConfig = gen.MineConfig
+
+// MineGFDs generates GFDs from frequent features of g, as in the paper's
+// evaluation setup.
+func MineGFDs(g *Graph, cfg MineConfig) *Set { return gen.MineGFDs(g, cfg) }
+
+// Incremental validation: maintain Vio(Σ, G) under updates (node/edge
+// insertions and attribute assignments) by re-checking only the work
+// units whose pivots lie near the touched nodes.
+type (
+	// IncrementalDetector maintains the violation set across updates.
+	IncrementalDetector = incremental.Detector
+	// UpdateAddNode inserts a node.
+	UpdateAddNode = incremental.AddNode
+	// UpdateAddEdge inserts an edge.
+	UpdateAddEdge = incremental.AddEdge
+	// UpdateSetAttr assigns an attribute value.
+	UpdateSetAttr = incremental.SetAttr
+)
+
+// NewIncremental builds an incremental detector with an initial full
+// validation of g against Σ.
+func NewIncremental(g *Graph, s *Set) *IncrementalDetector { return incremental.New(g, s) }
+
+// RepairSuggestion is one proposed attribute fix derived from a violation
+// report.
+type RepairSuggestion = repair.Suggestion
+
+// SuggestRepairs analyzes a violation report and proposes attribute
+// repairs: failed constant literals state the required value outright;
+// failed variable literals are resolved by blame voting across
+// disagreeing partners.
+func SuggestRepairs(g *Graph, s *Set, vio Report) []RepairSuggestion {
+	return repair.Suggest(g, s, vio)
+}
+
+// ApplyRepairs replays suggestions with confidence at or above threshold
+// onto the graph and reports how many were applied.
+func ApplyRepairs(g *Graph, suggestions []RepairSuggestion, threshold float64) int {
+	return repair.Apply(g, suggestions, threshold)
+}

@@ -1,0 +1,247 @@
+package baseline
+
+import (
+	"sync"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+	"gfd/internal/validate"
+)
+
+// Relational is the relational encoding of a property graph that a
+// BigDansing-style rule engine operates on: nodes(id, label),
+// edges(src, label, dst) and attrs(id, attr, val) tables, with the hash
+// indexes a generic relational engine would build (edges by label, nodes
+// by label).
+type Relational struct {
+	g            *graph.Graph // retained only for attribute lookups in dependency checks
+	nodesByLabel map[string][]graph.NodeID
+	edgesByLabel map[string][]graph.Edge
+	allEdges     []graph.Edge
+	allNodes     []graph.NodeID
+}
+
+// Encode builds the relational encoding of g.
+func Encode(g *graph.Graph) *Relational {
+	r := &Relational{
+		g:            g,
+		nodesByLabel: make(map[string][]graph.NodeID),
+		edgesByLabel: make(map[string][]graph.Edge),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		r.allNodes = append(r.allNodes, id)
+		r.nodesByLabel[g.Label(id)] = append(r.nodesByLabel[g.Label(id)], id)
+	}
+	g.Edges(func(e graph.Edge) bool {
+		r.allEdges = append(r.allEdges, e)
+		r.edgesByLabel[e.Label] = append(r.edgesByLabel[e.Label], e)
+		return true
+	})
+	return r
+}
+
+// binding is a partial assignment of pattern nodes, the intermediate tuple
+// of the join pipeline. Index -1 marks unbound.
+type binding []graph.NodeID
+
+// DetectJoins evaluates every rule as a left-deep join over the edge
+// relation — one join per pattern edge, node-table scans for isolated
+// pattern nodes — followed by the isomorphism (pairwise-distinctness)
+// filter that BigDansing users must hand-code, and finally the X → Y
+// check. Parallelism degree n splits the outermost scan. The results
+// coincide with the GFD engine's; only the evaluation strategy (and its
+// intermediate sizes) differs.
+func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate.Report {
+	if n < 1 {
+		n = 1
+	}
+	var out validate.Report
+	for _, f := range set.Rules() {
+		out = append(out, detectOneJoin(g, rel, f, n)...)
+	}
+	out.Sort()
+	return out
+}
+
+func detectOneJoin(g *graph.Graph, rel *Relational, f *core.GFD, n int) validate.Report {
+	q := f.Q
+	nNodes := q.NumNodes()
+	if nNodes == 0 {
+		return nil
+	}
+	plan := joinPlan(q)
+
+	// Outer scan: the first plan step's tuples, split across n workers.
+	firstTuples := stepTuples(rel, q, plan[0])
+	chunks := splitChunks(len(firstTuples), n)
+	results := make([]validate.Report, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local validate.Report
+			for _, ti := range chunks[w] {
+				b := make(binding, nNodes)
+				for i := range b {
+					b[i] = graph.Invalid
+				}
+				if !applyStep(q, plan[0], firstTuples[ti], b) {
+					continue
+				}
+				if !labelsOK(g, q, plan[0], b) {
+					continue
+				}
+				joinRest(g, rel, f, plan, 1, b, &local)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var out validate.Report
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// planStep is one join step: either a pattern edge or an isolated node
+// scan.
+type planStep struct {
+	edge   int // pattern edge index, or -1
+	node   int // pattern node index for isolated scans
+	isEdge bool
+}
+
+// joinPlan orders the pattern edges left-deep (generator order — a generic
+// engine without graph statistics) and appends scans for edge-free nodes.
+func joinPlan(q *pattern.Pattern) []planStep {
+	var plan []planStep
+	covered := make([]bool, q.NumNodes())
+	for ei := range q.Edges {
+		plan = append(plan, planStep{edge: ei, isEdge: true})
+		covered[q.Edges[ei].From] = true
+		covered[q.Edges[ei].To] = true
+	}
+	for v := 0; v < q.NumNodes(); v++ {
+		if !covered[v] {
+			plan = append(plan, planStep{node: v, edge: -1})
+		}
+	}
+	return plan
+}
+
+// tuple is one row feeding a join step.
+type tuple struct {
+	e      graph.Edge
+	v      graph.NodeID
+	isEdge bool
+}
+
+func stepTuples(rel *Relational, q *pattern.Pattern, s planStep) []tuple {
+	if s.isEdge {
+		e := q.Edges[s.edge]
+		var rows []graph.Edge
+		if e.Label == pattern.Wildcard {
+			rows = rel.allEdges
+		} else {
+			rows = rel.edgesByLabel[e.Label]
+		}
+		out := make([]tuple, len(rows))
+		for i, r := range rows {
+			out[i] = tuple{e: r, isEdge: true}
+		}
+		return out
+	}
+	label := q.Nodes[s.node].Label
+	var rows []graph.NodeID
+	if label == pattern.Wildcard {
+		rows = rel.allNodes
+	} else {
+		rows = rel.nodesByLabel[label]
+	}
+	out := make([]tuple, len(rows))
+	for i, r := range rows {
+		out[i] = tuple{v: r}
+	}
+	return out
+}
+
+// applyStep merges a tuple into the binding, checking node-label selections
+// and join keys; returns false on mismatch.
+func applyStep(q *pattern.Pattern, s planStep, t tuple, b binding) bool {
+	if s.isEdge {
+		e := q.Edges[s.edge]
+		return bindNode(q, b, e.From, t.e.From) && bindNode(q, b, e.To, t.e.To)
+	}
+	return bindNode(q, b, s.node, t.v)
+}
+
+func bindNode(q *pattern.Pattern, b binding, pv int, g graph.NodeID) bool {
+	if b[pv] != graph.Invalid {
+		return b[pv] == g
+	}
+	b[pv] = g
+	return true
+}
+
+func joinRest(g *graph.Graph, rel *Relational, f *core.GFD, plan []planStep, depth int, b binding, out *validate.Report) {
+	if depth == len(plan) {
+		finishBinding(g, f, b, out)
+		return
+	}
+	s := plan[depth]
+	for _, t := range stepTuples(rel, f.Q, s) {
+		nb := append(binding(nil), b...)
+		if !applyStep(f.Q, s, t, nb) {
+			continue
+		}
+		if !labelsOK(g, f.Q, s, nb) {
+			continue
+		}
+		joinRest(g, rel, f, plan, depth+1, nb, out)
+	}
+}
+
+// labelsOK applies the node-label selection predicates for the nodes the
+// step just bound (edge tables carry no node labels, so a relational plan
+// must re-check them).
+func labelsOK(g *graph.Graph, q *pattern.Pattern, s planStep, b binding) bool {
+	check := func(pv int) bool {
+		return pattern.LabelMatches(q.Nodes[pv].Label, g.Label(b[pv]))
+	}
+	if s.isEdge {
+		e := q.Edges[s.edge]
+		return check(e.From) && check(e.To)
+	}
+	return check(s.node)
+}
+
+// finishBinding applies the hand-coded isomorphism filter (pairwise
+// distinctness) and the dependency check.
+func finishBinding(g *graph.Graph, f *core.GFD, b binding, out *validate.Report) {
+	for i := 0; i < len(b); i++ {
+		if b[i] == graph.Invalid {
+			return
+		}
+		for j := i + 1; j < len(b); j++ {
+			if b[i] == b[j] {
+				return
+			}
+		}
+	}
+	m := core.Match(b)
+	if f.IsViolation(g, m) {
+		*out = append(*out, validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
+	}
+}
+
+func splitChunks(total, n int) [][]int {
+	out := make([][]int, n)
+	for i := 0; i < total; i++ {
+		out[i%n] = append(out[i%n], i)
+	}
+	return out
+}

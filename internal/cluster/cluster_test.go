@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAllWorkers(t *testing.T) {
+	c := New(8, DefaultCostModel())
+	var hits int64
+	seen := make([]bool, 8)
+	c.Run(func(w int) {
+		atomic.AddInt64(&hits, 1)
+		seen[w] = true
+	})
+	if hits != 8 {
+		t.Fatalf("ran %d workers", hits)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("worker %d never ran", i)
+		}
+	}
+}
+
+func TestShipAccounting(t *testing.T) {
+	c := New(4, DefaultCostModel())
+	c.Ship(0, 1, 1000)
+	c.Ship(2, 1, 500)
+	c.Ship(3, Coordinator, 100)
+	st := c.Stats()
+	if st.TotalBytes != 1600 || st.TotalMsgs != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PerWorker[1] != 1500 {
+		t.Errorf("worker 1 received %d", st.PerWorker[1])
+	}
+	if st.Coordinator != 100 {
+		t.Errorf("coordinator received %d", st.Coordinator)
+	}
+}
+
+func TestShipLocalIsFree(t *testing.T) {
+	c := New(2, DefaultCostModel())
+	c.Ship(1, 1, 1<<20)
+	if c.Stats().TotalBytes != 0 {
+		t.Error("local access must not be charged")
+	}
+}
+
+func TestCommTimeModel(t *testing.T) {
+	model := CostModel{LatencyPerRound: time.Millisecond, BytesPerSecond: 1000}
+	c := New(2, model)
+	c.Ship(0, 1, 500) // 500ms occupancy
+	c.EndRound()      // + 1ms round latency
+	got := c.CommTime()
+	want := time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Errorf("CommTime = %v, want %v", got, want)
+	}
+	// Parallel receivers within a round: the max, not the sum.
+	c.Ship(1, 0, 500)
+	if c.CommTime() != want {
+		t.Errorf("parallel shipments must overlap: %v", c.CommTime())
+	}
+	// More data into the same receiver accumulates occupancy.
+	c.Ship(0, 1, 500)
+	if c.CommTime() <= want {
+		t.Error("same receiver must accumulate")
+	}
+	// Another round adds one latency.
+	before := c.CommTime()
+	c.EndRound()
+	if c.CommTime() != before+time.Millisecond {
+		t.Error("each round costs one latency")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(2, DefaultCostModel())
+	c.Ship(0, 1, 42)
+	c.Reset()
+	if c.Stats().TotalBytes != 0 || c.CommTime() != 0 {
+		t.Error("Reset must clear accounting")
+	}
+}
+
+func TestConcurrentShip(t *testing.T) {
+	c := New(4, DefaultCostModel())
+	c.Run(func(w int) {
+		for i := 0; i < 1000; i++ {
+			c.Ship(w, (w+1)%4, 1)
+		}
+	})
+	if c.Stats().TotalBytes != 4000 {
+		t.Errorf("concurrent accounting lost bytes: %d", c.Stats().TotalBytes)
+	}
+}
+
+func TestNClamped(t *testing.T) {
+	if New(0, DefaultCostModel()).N() != 1 {
+		t.Error("n must clamp to 1")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := New(2, DefaultCostModel())
+	c.Ship(0, 1, 7)
+	if s := c.String(); s == "" {
+		t.Error("String must describe the cluster")
+	}
+}

@@ -1,0 +1,263 @@
+// Package core implements the GFD language itself — the primary
+// contribution of Fan, Wu & Xu, "Functional Dependencies for Graphs"
+// (SIGMOD 2016, Section 3): functional dependencies of the form
+//
+//	ϕ = (Q[x̄], X → Y)
+//
+// where Q is a graph pattern (topological constraint) and X, Y are sets of
+// literals over x̄ (attribute-value dependency). Constant literals x.A = c
+// give GFDs the power of CFDs; variable literals x.A = y.B give them the
+// power of FDs and EGDs.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// LiteralKind distinguishes constant literals (x.A = c) from variable
+// literals (x.A = y.B).
+type LiteralKind uint8
+
+const (
+	// Constant is a literal of the form x.A = c.
+	Constant LiteralKind = iota
+	// Variable is a literal of the form x.A = y.B.
+	Variable
+)
+
+// Literal is an equality atom over the variables of a pattern.
+type Literal struct {
+	X    pattern.Var // left variable
+	A    string      // left attribute
+	Kind LiteralKind
+	C    string      // constant value, when Kind == Constant
+	Y    pattern.Var // right variable, when Kind == Variable
+	B    string      // right attribute, when Kind == Variable
+}
+
+// Const builds a constant literal x.A = c.
+func Const(x pattern.Var, a, c string) Literal {
+	return Literal{X: x, A: a, Kind: Constant, C: c}
+}
+
+// VarEq builds a variable literal x.A = y.B.
+func VarEq(x pattern.Var, a string, y pattern.Var, b string) Literal {
+	return Literal{X: x, A: a, Kind: Variable, Y: y, B: b}
+}
+
+// IsTautology reports whether the literal is trivially true (x.A = x.A).
+// Note that per GFD semantics a tautology in Y is *not* vacuous: it forces
+// h(x) to carry attribute A (Section 3, "GFDs can specify certain type
+// information").
+func (l Literal) IsTautology() bool {
+	return l.Kind == Variable && l.X == l.Y && l.A == l.B
+}
+
+func (l Literal) String() string {
+	if l.Kind == Constant {
+		return fmt.Sprintf("%s.%s = %q", l.X, l.A, l.C)
+	}
+	return fmt.Sprintf("%s.%s = %s.%s", l.X, l.A, l.Y, l.B)
+}
+
+// GFD is a graph functional dependency ϕ = (Q[x̄], X → Y).
+type GFD struct {
+	Name string
+	Q    *pattern.Pattern
+	X    []Literal // antecedent; empty means "always applies"
+	Y    []Literal // consequent; empty means trivially satisfied
+}
+
+// New constructs a GFD and validates that every literal variable occurs in
+// the pattern.
+func New(name string, q *pattern.Pattern, x, y []Literal) (*GFD, error) {
+	f := &GFD{Name: name, Q: q, X: x, Y: y}
+	if err := f.Check(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error, for tests and static rule tables.
+func MustNew(name string, q *pattern.Pattern, x, y []Literal) *GFD {
+	f, err := New(name, q, x, y)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Check verifies well-formedness: each literal references only variables of
+// Q and non-empty attribute names.
+func (f *GFD) Check() error {
+	if f.Q == nil {
+		return fmt.Errorf("gfd %s: nil pattern", f.Name)
+	}
+	check := func(side string, ls []Literal) error {
+		for _, l := range ls {
+			if _, ok := f.Q.VarIndex(l.X); !ok {
+				return fmt.Errorf("gfd %s: %s literal %v: unknown variable %q", f.Name, side, l, l.X)
+			}
+			if l.A == "" {
+				return fmt.Errorf("gfd %s: %s literal %v: empty attribute", f.Name, side, l)
+			}
+			if l.Kind == Variable {
+				if _, ok := f.Q.VarIndex(l.Y); !ok {
+					return fmt.Errorf("gfd %s: %s literal %v: unknown variable %q", f.Name, side, l, l.Y)
+				}
+				if l.B == "" {
+					return fmt.Errorf("gfd %s: %s literal %v: empty attribute", f.Name, side, l)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("X", f.X); err != nil {
+		return err
+	}
+	return check("Y", f.Y)
+}
+
+// IsConstant reports whether ϕ is a constant GFD: X and Y consist of
+// constant literals only.
+func (f *GFD) IsConstant() bool {
+	for _, l := range f.X {
+		if l.Kind != Constant {
+			return false
+		}
+	}
+	for _, l := range f.Y {
+		if l.Kind != Constant {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVariable reports whether ϕ is a variable GFD: X and Y consist of
+// variable literals only.
+func (f *GFD) IsVariable() bool {
+	for _, l := range f.X {
+		if l.Kind != Variable {
+			return false
+		}
+	}
+	for _, l := range f.Y {
+		if l.Kind != Variable {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize rewrites ϕ into its normal form (Section 4.2): a set of GFDs
+// with the same pattern and antecedent, each with a single consequent
+// literal. Tautologies x.A = x.A in Y are kept (they force the attribute to
+// exist); an empty Y yields no normalized rules (ϕ holds trivially).
+func (f *GFD) Normalize() []*GFD {
+	out := make([]*GFD, 0, len(f.Y))
+	for i, l := range f.Y {
+		out = append(out, &GFD{
+			Name: fmt.Sprintf("%s#%d", f.Name, i),
+			Q:    f.Q,
+			X:    f.X,
+			Y:    []Literal{l},
+		})
+	}
+	return out
+}
+
+// Size returns |ϕ| = |Q| + |X| + |Y|, the size measure used in complexity
+// statements.
+func (f *GFD) Size() int { return f.Q.Size() + len(f.X) + len(f.Y) }
+
+func (f *GFD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: (%s, ", f.Name, f.Q)
+	writeLits(&b, f.X)
+	b.WriteString(" -> ")
+	writeLits(&b, f.Y)
+	b.WriteString(")")
+	return b.String()
+}
+
+func writeLits(b *strings.Builder, ls []Literal) {
+	if len(ls) == 0 {
+		b.WriteString("∅")
+		return
+	}
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(l.String())
+	}
+}
+
+// ---- Semantics ----------------------------------------------------------
+
+// Match is an instantiation h(x̄) of a pattern's variables in a graph:
+// Match[i] is the graph node matched by pattern node i.
+type Match []graph.NodeID
+
+// evalLiteral evaluates a single literal on a match. ok is false when a
+// referenced attribute is missing; eq is meaningful only when ok.
+func evalLiteral(g *graph.Graph, q *pattern.Pattern, h Match, l Literal) (eq, ok bool) {
+	xi, _ := q.VarIndex(l.X)
+	xv, xok := g.Attr(h[xi], l.A)
+	if !xok {
+		return false, false
+	}
+	if l.Kind == Constant {
+		return xv == l.C, true
+	}
+	yi, _ := q.VarIndex(l.Y)
+	yv, yok := g.Attr(h[yi], l.B)
+	if !yok {
+		return false, false
+	}
+	return xv == yv, true
+}
+
+// SatisfiesX reports h(x̄) |= X. Following the paper's semantics, a literal
+// whose attribute is missing on the matched node makes X unsatisfied (and
+// hence the GFD trivially satisfied for this match) — this accommodates the
+// semi-structured nature of graphs.
+func (f *GFD) SatisfiesX(g *graph.Graph, h Match) bool {
+	for _, l := range f.X {
+		eq, ok := evalLiteral(g, f.Q, h, l)
+		if !ok || !eq {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesY reports h(x̄) |= Y. In contrast to X, a literal in Y requires
+// the attribute to exist: a missing attribute is a violation.
+func (f *GFD) SatisfiesY(g *graph.Graph, h Match) bool {
+	for _, l := range f.Y {
+		eq, ok := evalLiteral(g, f.Q, h, l)
+		if !ok || !eq {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds reports h(x̄) |= X → Y: if h satisfies X then it satisfies Y.
+func (f *GFD) Holds(g *graph.Graph, h Match) bool {
+	if !f.SatisfiesX(g, h) {
+		return true
+	}
+	return f.SatisfiesY(g, h)
+}
+
+// IsViolation reports whether h(x̄) is a violation of ϕ: h |= X but h ̸|= Y.
+func (f *GFD) IsViolation(g *graph.Graph, h Match) bool {
+	return f.SatisfiesX(g, h) && !f.SatisfiesY(g, h)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleRules = `
+# flight consistency, the paper's phi1
+gfd phi1 {
+  node x flight
+  node x1 id
+  node y flight
+  node y1 id
+  edge x number x1
+  edge y number y1
+  when x1.val = y1.val
+  then x.dest = y.dest
+}
+
+gfd capital {
+  node x country
+  node y city
+  node z city
+  edge x capital y
+  edge x capital z
+  then y.val = z.val
+}
+
+gfd fake {
+  node a account
+  when a.is_fake = "true", a.region = r1
+  then a.flagged = true
+}
+`
+
+func TestParseRules(t *testing.T) {
+	set, err := ParseRules(strings.NewReader(sampleRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("parsed %d rules", set.Len())
+	}
+	phi1 := set.Get("phi1")
+	if phi1 == nil {
+		t.Fatal("phi1 missing")
+	}
+	if phi1.Q.NumNodes() != 4 || phi1.Q.NumEdges() != 2 {
+		t.Errorf("phi1 pattern: %v", phi1.Q)
+	}
+	if len(phi1.X) != 1 || phi1.X[0].Kind != Variable {
+		t.Errorf("phi1.X = %v", phi1.X)
+	}
+	if len(phi1.Y) != 1 || phi1.Y[0].Kind != Variable {
+		t.Errorf("phi1.Y = %v", phi1.Y)
+	}
+
+	capital := set.Get("capital")
+	if len(capital.X) != 0 {
+		t.Error("capital has empty X")
+	}
+
+	fake := set.Get("fake")
+	if len(fake.X) != 2 {
+		t.Fatalf("fake.X = %v", fake.X)
+	}
+	// Quoted and unquoted constants both parse as constants; "r1" is a
+	// constant because r1 is not a declared variable.
+	for _, l := range fake.X {
+		if l.Kind != Constant {
+			t.Errorf("literal %v should be constant", l)
+		}
+	}
+	if fake.X[0].C != "true" || fake.X[1].C != "r1" {
+		t.Errorf("constants = %q, %q", fake.X[0].C, fake.X[1].C)
+	}
+}
+
+func TestParseRulesVarVsConstantDisambiguation(t *testing.T) {
+	// y1.val on the right is a variable literal only when y1 is declared.
+	src := `
+gfd g {
+  node x a
+  when x.attr = y1.val
+}`
+	set, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := set.Get("g").X[0]
+	if l.Kind != Constant || l.C != "y1.val" {
+		t.Errorf("undeclared dotted RHS should be a constant: %v", l)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []string{
+		"gfd a {\n  node x l\n",                         // unterminated
+		"}",                                             // stray brace
+		"node x l",                                      // outside block
+		"gfd a {\n  gfd b {\n}\n}",                      // nested
+		"gfd a\n",                                       // missing brace
+		"gfd a {\n  node x\n}",                          // short node
+		"gfd a {\n  edge x e y\n}",                      // unknown vars
+		"gfd a {\n  node x l\n  edge x e\n}",            // short edge
+		"gfd a {\n  node x l\n  when x.attr\n}",         // no '='
+		"gfd a {\n  node x l\n  when attr = 3\n}",       // no var.attr lhs
+		"gfd a {\n  node x l\n  when q.attr = 3\n}",     // undeclared lhs var
+		"gfd a {\n  node x l\n  frobnicate\n}",          // unknown directive
+		"gfd a {\n  node x l\n}\ngfd a {\n node y l\n}", // duplicate names
+	}
+	for _, c := range cases {
+		if _, err := ParseRules(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseRules(%q) should fail", c)
+		}
+	}
+}
+
+func TestRulesRoundTrip(t *testing.T) {
+	set, err := ParseRules(strings.NewReader(sampleRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ParseRules(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if set2.Len() != set.Len() {
+		t.Fatalf("roundtrip lost rules: %d vs %d", set2.Len(), set.Len())
+	}
+	for _, f := range set.Rules() {
+		f2 := set2.Get(f.Name)
+		if f2 == nil {
+			t.Fatalf("rule %s lost", f.Name)
+		}
+		if f2.Q.NumNodes() != f.Q.NumNodes() || f2.Q.NumEdges() != f.Q.NumEdges() {
+			t.Errorf("%s: pattern changed", f.Name)
+		}
+		if len(f2.X) != len(f.X) || len(f2.Y) != len(f.Y) {
+			t.Errorf("%s: literals changed", f.Name)
+		}
+	}
+}
+
+func TestRoundTripQuotedConstant(t *testing.T) {
+	src := "gfd g {\n  node x blog\n  when x.keyword = \"free prize, draw\"\n  then x.spam = \"yes\"\n}\n"
+	set, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Get("g").X[0].C; got != "free prize, draw" {
+		t.Fatalf("quoted comma constant = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteRules(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ParseRules(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set2.Get("g").X[0].C; got != "free prize, draw" {
+		t.Errorf("roundtripped constant = %q", got)
+	}
+}

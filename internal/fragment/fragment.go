@@ -1,0 +1,181 @@
+// Package fragment implements graph fragmentation for the distributed
+// setting of Section 6.2: a fragmentation (F_1, ..., F_n) of G assigns
+// every node to exactly one fragment, each fragment knowing its border —
+// in-nodes (local nodes with an incoming edge from another fragment) and
+// out-nodes (remote nodes reachable by an edge from a local node).
+//
+// Fragments are views over a shared in-memory graph; the cluster runtime
+// charges communication cost whenever a worker touches data outside its
+// own fragment, which is how the simulation reproduces the paper's data
+// shipment measurements without a physical network.
+package fragment
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"gfd/internal/graph"
+)
+
+// Strategy selects how nodes are assigned to fragments.
+type Strategy uint8
+
+const (
+	// Hash assigns node v to fragment hash(v) mod n: the edge-cut
+	// partitioning used for the paper's fragmented experiments.
+	Hash Strategy = iota
+	// Range assigns contiguous ID ranges, which keeps generator locality
+	// (synthetic communities land together) and yields fewer border nodes.
+	Range
+)
+
+// Fragmentation is an n-way partition of a graph's nodes.
+type Fragmentation struct {
+	G     *graph.Graph
+	N     int
+	Owner []int // node ID -> fragment index
+	frags []*Fragment
+}
+
+// Fragment is one fragment F_i: the set of locally-owned nodes plus its
+// border bookkeeping.
+type Fragment struct {
+	ID       int
+	Nodes    []graph.NodeID // owned nodes, ascending
+	InNodes  []graph.NodeID // F_i.I: owned nodes with an edge from outside
+	OutNodes []graph.NodeID // F_i.O: remote nodes with an edge from inside
+	byLabel  map[string][]graph.NodeID
+}
+
+// Partition splits g into n fragments using the given strategy.
+func Partition(g *graph.Graph, n int, s Strategy) *Fragmentation {
+	if n < 1 {
+		n = 1
+	}
+	f := &Fragmentation{G: g, N: n, Owner: make([]int, g.NumNodes())}
+	for i := 0; i < n; i++ {
+		f.frags = append(f.frags, &Fragment{ID: i, byLabel: make(map[string][]graph.NodeID)})
+	}
+	per := (g.NumNodes() + n - 1) / n
+	for v := 0; v < g.NumNodes(); v++ {
+		var owner int
+		switch s {
+		case Range:
+			owner = v / max(per, 1)
+			if owner >= n {
+				owner = n - 1
+			}
+		default:
+			owner = hashNode(graph.NodeID(v)) % n
+		}
+		f.Owner[v] = owner
+		fr := f.frags[owner]
+		id := graph.NodeID(v)
+		fr.Nodes = append(fr.Nodes, id)
+		fr.byLabel[g.Label(id)] = append(fr.byLabel[g.Label(id)], id)
+	}
+	f.computeBorders()
+	return f
+}
+
+func hashNode(v graph.NodeID) int {
+	h := fnv.New32a()
+	var b [4]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	h.Write(b[:])
+	return int(h.Sum32() & 0x7fffffff)
+}
+
+func (f *Fragmentation) computeBorders() {
+	inSeen := make([]map[graph.NodeID]struct{}, f.N)
+	outSeen := make([]map[graph.NodeID]struct{}, f.N)
+	for i := range inSeen {
+		inSeen[i] = make(map[graph.NodeID]struct{})
+		outSeen[i] = make(map[graph.NodeID]struct{})
+	}
+	f.G.Edges(func(e graph.Edge) bool {
+		fo, to := f.Owner[e.From], f.Owner[e.To]
+		if fo != to {
+			// e.To is an in-node of its fragment; e.To is an out-node of
+			// e.From's fragment, and symmetrically for e.From.
+			inSeen[to][e.To] = struct{}{}
+			outSeen[fo][e.To] = struct{}{}
+			inSeen[fo][e.From] = struct{}{} // reachable via reverse traversal
+			outSeen[to][e.From] = struct{}{}
+		}
+		return true
+	})
+	for i, fr := range f.frags {
+		fr.InNodes = setToSorted(inSeen[i])
+		fr.OutNodes = setToSorted(outSeen[i])
+	}
+}
+
+func setToSorted(m map[graph.NodeID]struct{}) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Frag returns fragment i.
+func (f *Fragmentation) Frag(i int) *Fragment { return f.frags[i] }
+
+// OwnerOf returns the fragment index owning node v.
+func (f *Fragmentation) OwnerOf(v graph.NodeID) int { return f.Owner[v] }
+
+// LocalNodesWithLabel returns fragment i's locally-owned candidates for a
+// label.
+func (f *Fragmentation) LocalNodesWithLabel(i int, label string) []graph.NodeID {
+	return f.frags[i].byLabel[label]
+}
+
+// CutEdges counts edges crossing fragments, a partition-quality metric.
+func (f *Fragmentation) CutEdges() int {
+	cut := 0
+	f.G.Edges(func(e graph.Edge) bool {
+		if f.Owner[e.From] != f.Owner[e.To] {
+			cut++
+		}
+		return true
+	})
+	return cut
+}
+
+// NodeBytes estimates the serialized size of a node: its label, attribute
+// tuple and adjacency. This is the unit in which data shipment is charged
+// (the paper's CC(w) = c_s · |M| with c_s folded into the network model).
+func NodeBytes(g *graph.Graph, v graph.NodeID) int64 {
+	size := int64(len(g.Label(v))) + 8
+	for k, val := range g.NodeAttrs(v) {
+		size += int64(len(k) + len(val) + 2)
+	}
+	size += int64(g.Degree(v)) * 12 // edge endpoints + label tag
+	return size
+}
+
+// BlockShipBytes returns the bytes that must be shipped to worker dst to
+// assemble the data block nodes: the total serialized size of block nodes
+// not owned by dst.
+func (f *Fragmentation) BlockShipBytes(block []graph.NodeID, dst int) int64 {
+	var total int64
+	for _, v := range block {
+		if f.Owner[v] != dst {
+			total += NodeBytes(f.G, v)
+		}
+	}
+	return total
+}
+
+func (f *Fragmentation) String() string {
+	return fmt.Sprintf("fragmentation(n=%d, cut=%d)", f.N, f.CutEdges())
+}

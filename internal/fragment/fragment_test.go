@@ -1,0 +1,141 @@
+package fragment
+
+import (
+	"testing"
+
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+)
+
+func chainGraph(n int) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddNode("n", graph.Attrs{"val": "v"})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID(i+1), "e")
+	}
+	return g
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	g := chainGraph(100)
+	for _, strat := range []Strategy{Hash, Range} {
+		f := Partition(g, 4, strat)
+		total := 0
+		seen := make(map[graph.NodeID]bool)
+		for i := 0; i < 4; i++ {
+			fr := f.Frag(i)
+			total += len(fr.Nodes)
+			for _, v := range fr.Nodes {
+				if seen[v] {
+					t.Fatalf("node %d in two fragments", v)
+				}
+				seen[v] = true
+				if f.OwnerOf(v) != i {
+					t.Fatalf("owner mismatch for %d", v)
+				}
+			}
+		}
+		if total != 100 {
+			t.Fatalf("strategy %d: partition covers %d of 100 nodes", strat, total)
+		}
+	}
+}
+
+func TestPartitionSingleFragment(t *testing.T) {
+	g := chainGraph(10)
+	f := Partition(g, 1, Hash)
+	if f.CutEdges() != 0 {
+		t.Error("single fragment has no cut edges")
+	}
+	if len(f.Frag(0).InNodes) != 0 || len(f.Frag(0).OutNodes) != 0 {
+		t.Error("single fragment has no border")
+	}
+	// n < 1 clamps to 1.
+	if Partition(g, 0, Hash).N != 1 {
+		t.Error("n must clamp to 1")
+	}
+}
+
+func TestRangePartitionChainBorders(t *testing.T) {
+	g := chainGraph(10)
+	f := Partition(g, 2, Range)
+	// Range split: nodes 0..4 and 5..9, one cut edge 4->5.
+	if f.CutEdges() != 1 {
+		t.Fatalf("cut edges = %d, want 1", f.CutEdges())
+	}
+	f0, f1 := f.Frag(0), f.Frag(1)
+	// Node 5 is an in-node of fragment 1 (edge arrives from fragment 0);
+	// node 4 is on fragment 0's border too (reachable backwards).
+	if len(f1.InNodes) == 0 {
+		t.Error("fragment 1 must have in-nodes")
+	}
+	if len(f0.OutNodes) == 0 {
+		t.Error("fragment 0 must have out-nodes")
+	}
+	found := false
+	for _, v := range f0.OutNodes {
+		if v == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("node 5 must be an out-node of fragment 0")
+	}
+}
+
+func TestLocalNodesWithLabel(t *testing.T) {
+	g := graph.New(0, 0)
+	for i := 0; i < 20; i++ {
+		label := "a"
+		if i%2 == 1 {
+			label = "b"
+		}
+		g.AddNode(label, nil)
+	}
+	f := Partition(g, 3, Hash)
+	count := 0
+	for i := 0; i < 3; i++ {
+		count += len(f.LocalNodesWithLabel(i, "a"))
+	}
+	if count != 10 {
+		t.Errorf("local 'a' candidates sum to %d, want 10", count)
+	}
+}
+
+func TestNodeBytesGrowsWithContent(t *testing.T) {
+	g := graph.New(0, 0)
+	small := g.AddNode("x", nil)
+	big := g.AddNode("some_long_label", graph.Attrs{"k1": "value1", "k2": "value2"})
+	g.MustAddEdge(big, small, "e")
+	if NodeBytes(g, big) <= NodeBytes(g, small) {
+		t.Error("bigger nodes must serialize bigger")
+	}
+}
+
+func TestBlockShipBytes(t *testing.T) {
+	g := chainGraph(10)
+	f := Partition(g, 2, Range)
+	block := []graph.NodeID{0, 1, 5, 6}
+	toW0 := f.BlockShipBytes(block, 0) // nodes 5,6 are remote
+	toW1 := f.BlockShipBytes(block, 1) // nodes 0,1 are remote
+	if toW0 <= 0 || toW1 <= 0 {
+		t.Fatal("cross-fragment blocks must cost bytes")
+	}
+	// All-local block costs nothing.
+	if f.BlockShipBytes([]graph.NodeID{0, 1}, 0) != 0 {
+		t.Error("local block must ship zero bytes")
+	}
+}
+
+func TestHashPartitionRoughBalance(t *testing.T) {
+	g := gen.Synthetic(gen.SyntheticConfig{Nodes: 2000, Edges: 4000, Seed: 7})
+	f := Partition(g, 4, Hash)
+	for i := 0; i < 4; i++ {
+		n := len(f.Frag(i).Nodes)
+		if n < 300 || n > 700 {
+			t.Errorf("fragment %d owns %d nodes; hash balance off", i, n)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gfd/internal/graph"
+)
+
+// DatasetConfig sizes a real-dataset stand-in. Scale is the base entity
+// count (roughly: persons for knowledge graphs, accounts for the social
+// graph); node/edge totals grow linearly with it.
+type DatasetConfig struct {
+	Scale int
+	Seed  int64
+}
+
+func (c DatasetConfig) normalize() DatasetConfig {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	return c
+}
+
+// kb is a small builder over shared entity pools, used by the dataset
+// stand-ins to lay down the knowledge-graph motifs the mined GFDs select
+// (flights, capitals, type hierarchies, mayors/parties, families).
+type kb struct {
+	g   *graph.Graph
+	rng *rand.Rand
+
+	countries []graph.NodeID
+	cities    []graph.NodeID
+	persons   []graph.NodeID
+	parties   []graph.NodeID
+	classes   []graph.NodeID
+}
+
+func newKB(seed int64, nodeHint int) *kb {
+	return &kb{g: graph.New(nodeHint, nodeHint*2), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *kb) node(label, val string, extra graph.Attrs) graph.NodeID {
+	attrs := graph.Attrs{"val": val}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	return b.g.AddNode(label, attrs)
+}
+
+// pools creates the shared entity pools.
+func (b *kb) pools(countries, cities, parties, classes int) {
+	for i := 0; i < countries; i++ {
+		b.countries = append(b.countries, b.node("country", fmt.Sprintf("country_%d", i), nil))
+	}
+	for i := 0; i < cities; i++ {
+		c := b.node("city", fmt.Sprintf("city_%d", i), nil)
+		b.cities = append(b.cities, c)
+		// Every city is located in a country.
+		b.g.MustAddEdge(c, b.countries[i%len(b.countries)], "located_in")
+	}
+	for i := 0; i < parties; i++ {
+		p := b.node("party", fmt.Sprintf("party_%d", i), nil)
+		b.parties = append(b.parties, p)
+		b.g.MustAddEdge(p, b.countries[i%len(b.countries)], "in_country")
+	}
+	for i := 0; i < classes; i++ {
+		b.classes = append(b.classes, b.node("class", fmt.Sprintf("class_%d", i), nil))
+	}
+	// capitals: one per country, consistent by construction.
+	for i, c := range b.countries {
+		b.g.MustAddEdge(c, b.cities[i%len(b.cities)], "capital")
+	}
+	// a modest class hierarchy with disjointness facts.
+	for i := 1; i < len(b.classes); i++ {
+		b.g.MustAddEdge(b.classes[i], b.classes[(i-1)/2], "subclass_of")
+		if i%3 == 0 && i+1 < len(b.classes) {
+			b.g.MustAddEdge(b.classes[i], b.classes[i+1], "disjoint_with")
+		}
+	}
+}
+
+// flights lays down n flight-entity pairs in the shape of Fig. 1's G1:
+// each flight entity has its *own* satellite id/city/time nodes reached by
+// number/from/to/depart/arrive edges (as in the paper's G1, where Paris
+// appears once per flight), and the two copies of a pair agree on the id,
+// origin and destination values — so the ϕ1-style GFD holds until noise is
+// injected.
+func (b *kb) flights(n int) {
+	for i := 0; i < n; i++ {
+		fromVal := fmt.Sprintf("city_%d", b.rng.Intn(max(1, len(b.cities))))
+		toVal := fmt.Sprintf("city_%d", b.rng.Intn(max(1, len(b.cities))))
+		depVal := fmt.Sprintf("%02d:%02d", b.rng.Intn(24), b.rng.Intn(12)*5)
+		arrVal := fmt.Sprintf("%02d:%02d", b.rng.Intn(24), b.rng.Intn(12)*5)
+		for copyNo := 0; copyNo < 2; copyNo++ {
+			f := b.node("flight", fmt.Sprintf("flight_%d_%d", i, copyNo), nil)
+			b.g.MustAddEdge(f, b.node("id", fmt.Sprintf("FL%04d", i), nil), "number")
+			b.g.MustAddEdge(f, b.node("city", fromVal, nil), "from")
+			b.g.MustAddEdge(f, b.node("city", toVal, nil), "to")
+			b.g.MustAddEdge(f, b.node("time", depVal, nil), "depart")
+			b.g.MustAddEdge(f, b.node("time", arrVal, nil), "arrive")
+		}
+	}
+}
+
+// books lays down n book-edition pairs in a *chain* shape: each edition
+// has its own isbn satellite which is registered to its own publisher
+// satellite, and the two editions of a book agree on both values. The
+// resulting FD (same isbn ⇒ same publisher) lives on a path pattern, the
+// fragment GCFDs can express — the chain counterpart of the star-shaped
+// flight motif.
+func (b *kb) books(n int) {
+	for i := 0; i < n; i++ {
+		isbnVal := fmt.Sprintf("978-%07d", i)
+		pubVal := fmt.Sprintf("publisher_%d", b.rng.Intn(max(4, n/8)))
+		for copyNo := 0; copyNo < 2; copyNo++ {
+			e := b.node("edition", fmt.Sprintf("edition_%d_%d", i, copyNo), nil)
+			isbn := b.node("isbn", isbnVal, nil)
+			pub := b.node("publisher", pubVal, nil)
+			b.g.MustAddEdge(e, isbn, "has_isbn")
+			b.g.MustAddEdge(isbn, pub, "registered_to")
+		}
+	}
+}
+
+// people lays down n person entities with birthplace/citizenship, family
+// edges (parent/child, acyclic by construction), and a sprinkling of
+// mayors affiliated to parties of the same country (Fig. 7 GFD 3 shape).
+func (b *kb) people(n int) {
+	for i := 0; i < n; i++ {
+		p := b.node("person", fmt.Sprintf("person_%d", i), graph.Attrs{
+			"birth_year": fmt.Sprintf("%d", 1940+b.rng.Intn(70)),
+		})
+		b.persons = append(b.persons, p)
+		city := b.cities[b.rng.Intn(len(b.cities))]
+		b.g.MustAddEdge(p, city, "born_in")
+		if i > 0 {
+			// Parent chosen among earlier persons: hasChild from parent to
+			// child and hasParent back, never cyclic.
+			parent := b.persons[b.rng.Intn(i)]
+			b.g.MustAddEdge(parent, p, "has_child")
+			b.g.MustAddEdge(p, parent, "has_parent")
+		}
+		if i%23 == 0 {
+			// Mayor of a city, affiliated to a party of that city's country.
+			b.g.MustAddEdge(p, city, "mayor_of")
+			country := b.cityCountry(city)
+			party := b.partyOf(country)
+			if party != graph.Invalid {
+				b.g.MustAddEdge(p, party, "affiliated_to")
+			}
+		}
+	}
+}
+
+func (b *kb) cityCountry(city graph.NodeID) graph.NodeID {
+	for _, he := range b.g.Out(city) {
+		if he.Label == "located_in" {
+			return he.To
+		}
+	}
+	return graph.Invalid
+}
+
+func (b *kb) partyOf(country graph.NodeID) graph.NodeID {
+	for _, he := range b.g.In(country) {
+		if he.Label == "in_country" && b.g.Label(he.To) == "party" {
+			return he.To
+		}
+	}
+	return graph.Invalid
+}
+
+// typedEntities lays down n generic typed entities pointing at classes,
+// giving DBpedia-like label variety.
+func (b *kb) typedEntities(n, types int) {
+	for i := 0; i < n; i++ {
+		e := b.node(fmt.Sprintf("T%d", i%types), fmt.Sprintf("entity_%d", i), graph.Attrs{
+			"a0": fmt.Sprintf("v%d", b.rng.Intn(50)),
+			"a1": fmt.Sprintf("v%d", b.rng.Intn(50)),
+		})
+		b.g.MustAddEdge(e, b.classes[i%len(b.classes)], "type")
+		if i > 0 && b.rng.Intn(3) == 0 {
+			b.g.MustAddEdge(e, graph.NodeID(int(e)-1-b.rng.Intn(int(e))), "related_to")
+		}
+	}
+}
+
+// YAGO2Like generates the YAGO2 stand-in: a knowledge graph with ~13 node
+// types and ~36 edge types carrying the flight / capital / family / mayor
+// motifs that the paper's real-life GFDs (Fig. 7) select.
+func YAGO2Like(cfg DatasetConfig) *graph.Graph {
+	cfg = cfg.normalize()
+	b := newKB(cfg.Seed, cfg.Scale*4)
+	b.pools(max(4, cfg.Scale/100), max(12, cfg.Scale/10), max(4, cfg.Scale/100), max(8, cfg.Scale/50))
+	b.flights(cfg.Scale / 4)
+	b.books(cfg.Scale / 4)
+	b.people(cfg.Scale)
+	return b.g
+}
+
+// DBpediaLike generates the DBpedia stand-in: the same knowledge motifs
+// plus a long tail of generic entity types (the real graph has ~200 node
+// and ~160 edge types), yielding a larger, more heterogeneous graph.
+func DBpediaLike(cfg DatasetConfig) *graph.Graph {
+	cfg = cfg.normalize()
+	b := newKB(cfg.Seed, cfg.Scale*6)
+	b.pools(max(6, cfg.Scale/80), max(20, cfg.Scale/8), max(6, cfg.Scale/80), max(16, cfg.Scale/25))
+	b.flights(cfg.Scale / 4)
+	b.books(cfg.Scale / 4)
+	b.people(cfg.Scale)
+	b.typedEntities(cfg.Scale, 60)
+	return b.g
+}
+
+// PokecLike generates the social-network stand-in: accounts with profile
+// attributes, follows/likes/posts relationships, and blogs with keywords —
+// the substrate for the fake-account GFD ϕ6 of Example 5.
+func PokecLike(cfg DatasetConfig) *graph.Graph {
+	cfg = cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Scale*3, cfg.Scale*8)
+
+	keywords := []string{"free prize", "win free prize", "gift card", "hello world", "holiday pics", "news", "sports"}
+	nRegions := 20
+	regions := make([]graph.NodeID, nRegions)
+	for i := range regions {
+		regions[i] = g.AddNode("region", graph.Attrs{"val": fmt.Sprintf("r%d", i)})
+	}
+	accounts := make([]graph.NodeID, cfg.Scale)
+	for i := range accounts {
+		isFake := "false"
+		if rng.Intn(40) == 0 {
+			isFake = "true"
+		}
+		region := rng.Intn(nRegions)
+		accounts[i] = g.AddNode("account", graph.Attrs{
+			"val":     fmt.Sprintf("acct_%d", i),
+			"is_fake": isFake,
+			"region":  fmt.Sprintf("r%d", region),
+			"age":     fmt.Sprintf("%d", 16+rng.Intn(60)),
+		})
+		g.MustAddEdge(accounts[i], regions[region], "lives_in")
+	}
+	nBlogs := cfg.Scale * 2
+	blogs := make([]graph.NodeID, nBlogs)
+	for i := range blogs {
+		kw := keywords[rng.Intn(len(keywords))]
+		blogs[i] = g.AddNode("blog", graph.Attrs{
+			"val":     fmt.Sprintf("blog_%d", i),
+			"keyword": kw,
+		})
+		// Poster: fake accounts tend to post spammy keywords.
+		poster := accounts[rng.Intn(len(accounts))]
+		if kw == "free prize" || kw == "win free prize" {
+			// Bias spam posts toward fake accounts.
+			for try := 0; try < 4; try++ {
+				v, _ := g.Attr(poster, "is_fake")
+				if v == "true" {
+					break
+				}
+				poster = accounts[rng.Intn(len(accounts))]
+			}
+		}
+		g.MustAddEdge(poster, blogs[i], "post")
+	}
+	for _, a := range accounts {
+		nLikes := 1 + rng.Intn(6)
+		for l := 0; l < nLikes; l++ {
+			g.MustAddEdge(a, blogs[rng.Intn(nBlogs)], "like")
+		}
+		if rng.Intn(2) == 0 {
+			g.MustAddEdge(a, accounts[rng.Intn(len(accounts))], "follows")
+		}
+	}
+	// Blog/status/photo motif (the shape of Q5 and ϕ5 in Example 5): a
+	// blog has a status and a photo; the status is attached to the photo,
+	// and consistently annotates it.
+	for i := 0; i < cfg.Scale/4; i++ {
+		desc := fmt.Sprintf("pic_%d", rng.Intn(500))
+		blog := blogs[rng.Intn(nBlogs)]
+		status := g.AddNode("status", graph.Attrs{"val": fmt.Sprintf("status_%d", i), "text": desc})
+		photo := g.AddNode("photo", graph.Attrs{"val": fmt.Sprintf("photo_%d", i), "desc": desc})
+		g.MustAddEdge(blog, status, "has_status")
+		g.MustAddEdge(blog, photo, "has_photo")
+		g.MustAddEdge(status, photo, "has_attachment")
+	}
+	return g
+}

@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"math/rand"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/match"
+)
+
+// InjectTargeted corrupts attribute values of entities that participate in
+// matches of the given rule set, mirroring Exp-5's methodology: the paper
+// sampled entities, injected noise into them, and used GFDs whose patterns
+// match a fraction of the sampled entities with constants from the
+// original (pre-noise) values. Corrupting rule-covered entities is what
+// makes recall measurable — noise outside every rule's scope is invisible
+// to all compared models alike.
+//
+// For each rule, up to sampleMatches matches are enumerated; each match is
+// corrupted with probability rate by perturbing the attribute of one
+// literal-bound node (chosen uniformly over X ∪ Y literals). Corruptions
+// of Y-side attributes create violations; corruptions of X-side attributes
+// silently remove matches, which is what keeps recall below 1 as in the
+// paper.
+func InjectTargeted(g *graph.Graph, set *core.Set, rate float64, seed int64) []InjectedError {
+	const (
+		maxScan    = 100000 // pattern matches scanned per rule
+		maxTargets = 400    // X-satisfying matches collected per rule
+	)
+	rng := rand.New(rand.NewSource(seed))
+	done := make(map[corruptKey]bool) // (node, attr) corrupted once
+	var out []InjectedError
+	for _, f := range set.Rules() {
+		if len(f.Y) == 0 {
+			continue
+		}
+		// Collect the matches the rule actually constrains (h |= X) before
+		// mutating anything: corruption changes the match set.
+		var targets []core.Match
+		seen := 0
+		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {
+			seen++
+			if f.SatisfiesX(g, m) {
+				targets = append(targets, append(core.Match(nil), m...))
+			}
+			return seen < maxScan && len(targets) < maxTargets
+		})
+		// How often each antecedent endpoint occurs across targets:
+		// corrupting a *shared* X node would silently disable the rule for
+		// every target, so antecedent corruption is restricted to nodes
+		// unique to their target.
+		xShared := make(map[graph.NodeID]int)
+		for _, m := range targets {
+			for _, l := range f.X {
+				xi, _ := f.Q.VarIndex(l.X)
+				xShared[m[xi]]++
+			}
+		}
+		for _, m := range targets {
+			if rng.Float64() >= rate {
+				continue
+			}
+			// Most corruptions hit a consequent literal (detectable as a
+			// violation); ~10% hit a per-entity antecedent literal,
+			// silently removing the match — the undetectable error class
+			// that keeps recall below 1, as in the paper's 0.91.
+			lits := f.Y
+			if len(f.X) > 0 && rng.Float64() < 0.1 {
+				l := f.X[rng.Intn(len(f.X))]
+				xi, _ := f.Q.VarIndex(l.X)
+				if xShared[m[xi]] == 1 {
+					lits = f.X
+				}
+			}
+			l := lits[rng.Intn(len(lits))]
+			xi, _ := f.Q.VarIndex(l.X)
+			node, attr := m[xi], l.A
+			partner, partnerAttr := graph.Invalid, ""
+			if l.Kind == core.Variable {
+				yi, _ := f.Q.VarIndex(l.Y)
+				if rng.Intn(2) == 1 {
+					node, attr = m[yi], l.B
+					partner, partnerAttr = m[xi], l.A
+				} else {
+					partner, partnerAttr = m[yi], l.B
+				}
+			}
+			key := corruptKey{node, attr}
+			if done[key] {
+				continue
+			}
+			done[key] = true
+			if old, ok := g.Attr(node, attr); ok {
+				nw := corrupt(old, rng)
+				g.SetAttr(node, attr, nw)
+				out = append(out, InjectedError{
+					Node: node, Kind: AttributeNoise, Attr: attr, Old: old, New: nw,
+				})
+				// Breaking an equality x.A = y.B makes the *pair*
+				// inconsistent — which side is wrong is not decidable from
+				// the data, so ground truth records both endpoints (the
+				// paper's representational-inconsistency accounting).
+				if partner != graph.Invalid {
+					pv, _ := g.Attr(partner, partnerAttr)
+					out = append(out, InjectedError{
+						Node: partner, Kind: RepresentationalNoise, Attr: partnerAttr, Old: pv, New: pv,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// corruptKey deduplicates corruptions per (node, attribute).
+type corruptKey struct {
+	node graph.NodeID
+	attr string
+}

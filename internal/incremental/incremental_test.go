@@ -1,0 +1,175 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+	"gfd/internal/validate"
+)
+
+// capitalRule is ϕ2: one capital per country.
+func capitalRule() *core.GFD {
+	q := pattern.New()
+	x := q.AddNode("x", "country")
+	y := q.AddNode("y", "city")
+	z := q.AddNode("z", "city")
+	q.AddEdge(x, y, "capital")
+	q.AddEdge(x, z, "capital")
+	return core.MustNew("capital", q, nil, []core.Literal{core.VarEq("y", "val", "z", "val")})
+}
+
+// agree reports whether the incremental report matches a fresh full
+// validation.
+func agree(t *testing.T, d *Detector, g *graph.Graph, set *core.Set) {
+	t.Helper()
+	want := validate.DetVio(g, set)
+	got := d.Report()
+	if len(got) != len(want) {
+		t.Fatalf("incremental has %d violations, full validation %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("violation %d differs: %s vs %s", i, got[i].Key(), want[i].Key())
+		}
+	}
+}
+
+func TestIncrementalCapitalScenario(t *testing.T) {
+	g := graph.New(0, 0)
+	au := g.AddNode("country", graph.Attrs{"val": "AU"})
+	c1 := g.AddNode("city", graph.Attrs{"val": "Canberra"})
+	g.MustAddEdge(au, c1, "capital")
+
+	set := core.MustNewSet(capitalRule())
+	d := New(g, set)
+	if d.Len() != 0 {
+		t.Fatal("single capital: no violations initially")
+	}
+
+	// Adding a second, different capital creates the inconsistency.
+	ids := d.Apply(AddNode{Label: "city", Attrs: graph.Attrs{"val": "Melbourne"}})
+	d.Apply(AddEdge{From: au, To: ids[0], Label: "capital"})
+	agree(t, d, g, set)
+	if d.Len() != 2 {
+		t.Fatalf("want the two ordered violations, got %d", d.Len())
+	}
+
+	// Repairing the attribute clears the violations.
+	d.Apply(SetAttr{Node: ids[0], Attr: "val", Value: "Canberra"})
+	agree(t, d, g, set)
+	if d.Len() != 0 {
+		t.Fatalf("repair should clear violations, got %d", d.Len())
+	}
+
+	// Breaking it again from the other side.
+	d.Apply(SetAttr{Node: c1, Attr: "val", Value: "Sydney"})
+	agree(t, d, g, set)
+	if d.Len() != 2 {
+		t.Fatalf("want violations after re-breaking, got %d", d.Len())
+	}
+}
+
+func TestIncrementalTwoComponentRule(t *testing.T) {
+	// Flight FD over two disconnected components: updates far from one
+	// component still affect pairs that include it.
+	q := pattern.New()
+	for _, pre := range []string{"x", "y"} {
+		f := q.AddNode(pattern.Var(pre), "flight")
+		id := q.AddNode(pattern.Var(pre+"1"), "id")
+		c := q.AddNode(pattern.Var(pre+"2"), "city")
+		q.AddEdge(f, id, "number")
+		q.AddEdge(f, c, "from")
+	}
+	rule := core.MustNew("flightfd", q,
+		[]core.Literal{core.VarEq("x1", "val", "y1", "val")},
+		[]core.Literal{core.VarEq("x2", "val", "y2", "val")})
+	set := core.MustNewSet(rule)
+
+	g := graph.New(0, 0)
+	addFlight := func(id, from string) graph.NodeID {
+		f := g.AddNode("flight", graph.Attrs{"val": id + from})
+		g.MustAddEdge(f, g.AddNode("id", graph.Attrs{"val": id}), "number")
+		g.MustAddEdge(f, g.AddNode("city", graph.Attrs{"val": from}), "from")
+		return f
+	}
+	addFlight("DL1", "Paris")
+	d := New(g, set)
+	if d.Len() != 0 {
+		t.Fatal("one flight cannot violate a pair rule")
+	}
+
+	// Insert a conflicting duplicate via updates only.
+	ids := d.Apply(
+		AddNode{Label: "flight", Attrs: graph.Attrs{"val": "DL1b"}},
+		AddNode{Label: "id", Attrs: graph.Attrs{"val": "DL1"}},
+		AddNode{Label: "city", Attrs: graph.Attrs{"val": "Rome"}},
+	)
+	d.Apply(
+		AddEdge{From: ids[0], To: ids[1], Label: "number"},
+		AddEdge{From: ids[0], To: ids[2], Label: "from"},
+	)
+	agree(t, d, g, set)
+	if d.Len() != 2 {
+		t.Fatalf("want both ordered pair violations, got %d", d.Len())
+	}
+}
+
+func TestIncrementalRandomizedAgainstFull(t *testing.T) {
+	// Fuzz: random updates against a mined rule set; the incremental
+	// report must always equal a fresh full validation.
+	clean := gen.YAGO2Like(gen.DatasetConfig{Scale: 60, Seed: 9})
+	set := gen.MineGFDs(clean, gen.MineConfig{NumRules: 4, PatternSize: 3, TwoCompFrac: 0.3, Seed: 10})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	d := New(clean, set)
+	rng := rand.New(rand.NewSource(11))
+	labels := clean.Labels()
+	for step := 0; step < 25; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.Apply(AddNode{Label: labels[rng.Intn(len(labels))], Attrs: graph.Attrs{"val": "new"}})
+		case 1:
+			from := graph.NodeID(rng.Intn(clean.NumNodes()))
+			to := graph.NodeID(rng.Intn(clean.NumNodes()))
+			if from != to {
+				d.Apply(AddEdge{From: from, To: to, Label: "related_to"})
+			}
+		default:
+			v := graph.NodeID(rng.Intn(clean.NumNodes()))
+			d.Apply(SetAttr{Node: v, Attr: "val", Value: corruptValue(rng)})
+		}
+		agree(t, d, clean, set)
+	}
+}
+
+func corruptValue(rng *rand.Rand) string {
+	return string(rune('a' + rng.Intn(26)))
+}
+
+func TestIncrementalRevalidatesFewUnits(t *testing.T) {
+	// The point of incrementality: a single attribute touch must not
+	// re-validate the whole workload.
+	clean := gen.YAGO2Like(gen.DatasetConfig{Scale: 150, Seed: 12})
+	set := gen.MineGFDs(clean, gen.MineConfig{NumRules: 4, PatternSize: 3, Seed: 13})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	d := New(clean, set)
+	initial := d.UnitsRevalidated
+	d.Apply(SetAttr{Node: 0, Attr: "val", Value: "zap"})
+	delta := d.UnitsRevalidated - initial
+	if delta > initial/4 {
+		t.Errorf("one update re-validated %d of %d units — not incremental", delta, initial)
+	}
+}
+
+func TestUnitKeyDistinct(t *testing.T) {
+	if unitKey(1, []graph.NodeID{2, 3}) == unitKey(12, []graph.NodeID{3}) {
+		t.Error("unit keys must not collide across rule/candidate splits")
+	}
+}

@@ -1,0 +1,288 @@
+// Package match implements graph pattern matching via subgraph isomorphism
+// (Section 2 of the GFD paper): a match of pattern Q in graph G is a
+// subgraph of G isomorphic to Q, i.e. an injective mapping h from pattern
+// nodes to graph nodes preserving node labels (wildcard matches anything)
+// and requiring, for every pattern edge (u,u'), an edge (h(u),h(u')) in G
+// with a matching label.
+//
+// The enumerator is a backtracking search with label/degree candidate
+// filtering and connectivity-driven variable ordering. It supports pinning
+// pattern nodes to designated graph nodes (pivot candidates of work units)
+// and restricting matches to a data block (locality of subgraph
+// isomorphism, Section 5.2).
+package match
+
+import (
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// Options configures an enumeration.
+type Options struct {
+	// Block restricts every matched graph node to this set. nil means the
+	// whole graph.
+	Block graph.NodeSet
+	// Pin forces pattern node index k to match exactly Pin[k]. Used to
+	// enumerate only matches that include a pivot candidate.
+	Pin map[int]graph.NodeID
+	// Limit stops the enumeration after this many matches; 0 means
+	// unlimited.
+	Limit int
+	// StripeNode, together with StripeMod/StripeRem, partitions the match
+	// space for the replicate-and-split skew optimization: pattern node
+	// StripeNode may only match graph nodes v with v mod StripeMod ==
+	// StripeRem. StripeMod == 0 disables striping. Enumerating all
+	// residues yields exactly the unstriped match set, since every match
+	// assigns StripeNode exactly one graph node.
+	StripeNode int
+	StripeMod  int
+	StripeRem  int
+}
+
+// Enumerate calls yield for every match of q in g under opts, in a
+// deterministic order. Enumeration stops early if yield returns false.
+// The Match slice passed to yield is reused across calls; callers that
+// retain it must copy it.
+func Enumerate(g *graph.Graph, q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
+	if q.NumNodes() == 0 {
+		return
+	}
+	s := &searcher{g: g, q: q, opts: opts, yield: yield}
+	s.order = s.planOrder()
+	s.assign = make(core.Match, q.NumNodes())
+	for i := range s.assign {
+		s.assign[i] = graph.Invalid
+	}
+	s.used = make(map[graph.NodeID]struct{}, q.NumNodes())
+	s.extend(0)
+}
+
+// Count returns the number of matches of q in g under opts.
+func Count(g *graph.Graph, q *pattern.Pattern, opts Options) int {
+	n := 0
+	Enumerate(g, q, opts, func(core.Match) bool {
+		n++
+		return opts.Limit == 0 || n < opts.Limit
+	})
+	return n
+}
+
+// Has reports whether q has at least one match in g under opts.
+func Has(g *graph.Graph, q *pattern.Pattern, opts Options) bool {
+	found := false
+	Enumerate(g, q, opts, func(core.Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// All returns every match (copied) of q in g under opts.
+func All(g *graph.Graph, q *pattern.Pattern, opts Options) []core.Match {
+	var out []core.Match
+	Enumerate(g, q, opts, func(m core.Match) bool {
+		out = append(out, append(core.Match(nil), m...))
+		return true
+	})
+	return out
+}
+
+type searcher struct {
+	g     *graph.Graph
+	q     *pattern.Pattern
+	opts  Options
+	yield func(core.Match) bool
+
+	order  []int
+	assign core.Match
+	used   map[graph.NodeID]struct{}
+	found  int
+	halt   bool
+}
+
+// planOrder produces a matching order: pinned nodes first, then remaining
+// nodes of each component in BFS order from already-placed nodes, seeding
+// new components by the node with the smallest candidate estimate.
+func (s *searcher) planOrder() []int {
+	n := s.q.NumNodes()
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	// Pinned nodes first (cheapest to verify, maximum pruning).
+	for i := 0; i < n; i++ {
+		if _, ok := s.opts.Pin[i]; ok {
+			placed[i] = true
+			order = append(order, i)
+		}
+	}
+	adjacent := func(v int) []int {
+		var out []int
+		for _, ei := range s.q.OutEdges(v) {
+			out = append(out, s.q.Edges[ei].To)
+		}
+		for _, ei := range s.q.InEdges(v) {
+			out = append(out, s.q.Edges[ei].From)
+		}
+		return out
+	}
+	estimate := func(v int) int {
+		l := s.q.Nodes[v].Label
+		if l == pattern.Wildcard {
+			return s.g.NumNodes()
+		}
+		return s.g.LabelCount(l)
+	}
+	for len(order) < n {
+		// Grow from the frontier of placed nodes if possible.
+		next := -1
+		bestEst := int(^uint(0) >> 1)
+		for _, p := range order {
+			for _, w := range adjacent(p) {
+				if !placed[w] && estimate(w) < bestEst {
+					next, bestEst = w, estimate(w)
+				}
+			}
+		}
+		if next < 0 {
+			// New component: seed with the most selective node.
+			for v := 0; v < n; v++ {
+				if !placed[v] && estimate(v) < bestEst {
+					next, bestEst = v, estimate(v)
+				}
+			}
+		}
+		placed[next] = true
+		order = append(order, next)
+	}
+	return order
+}
+
+func (s *searcher) extend(depth int) {
+	if s.halt {
+		return
+	}
+	if depth == len(s.order) {
+		s.found++
+		if !s.yield(s.assign) {
+			s.halt = true
+		}
+		if s.opts.Limit > 0 && s.found >= s.opts.Limit {
+			s.halt = true
+		}
+		return
+	}
+	u := s.order[depth]
+	for _, v := range s.candidates(u) {
+		if _, taken := s.used[v]; taken {
+			continue
+		}
+		if !s.feasible(u, v) {
+			continue
+		}
+		s.assign[u] = v
+		s.used[v] = struct{}{}
+		s.extend(depth + 1)
+		delete(s.used, v)
+		s.assign[u] = graph.Invalid
+		if s.halt {
+			return
+		}
+	}
+}
+
+// candidates produces the candidate graph nodes for pattern node u given
+// the current partial assignment: the pinned node, or the neighbors of an
+// already-matched adjacent pattern node, or the label index.
+func (s *searcher) candidates(u int) []graph.NodeID {
+	if v, ok := s.opts.Pin[u]; ok {
+		return []graph.NodeID{v}
+	}
+	// Prefer expanding along a matched neighbor: candidates are then the
+	// adjacency of the matched node, already label-filtered by feasible().
+	for _, ei := range s.q.InEdges(u) {
+		e := s.q.Edges[ei]
+		if from := s.assign[e.From]; from != graph.Invalid {
+			out := make([]graph.NodeID, 0, len(s.g.Out(from)))
+			for _, he := range s.g.Out(from) {
+				if pattern.LabelMatches(e.Label, he.Label) {
+					out = append(out, he.To)
+				}
+			}
+			return out
+		}
+	}
+	for _, ei := range s.q.OutEdges(u) {
+		e := s.q.Edges[ei]
+		if to := s.assign[e.To]; to != graph.Invalid {
+			out := make([]graph.NodeID, 0, len(s.g.In(to)))
+			for _, he := range s.g.In(to) {
+				if pattern.LabelMatches(e.Label, he.Label) {
+					out = append(out, he.To)
+				}
+			}
+			return out
+		}
+	}
+	// Fresh component: label index or all nodes for wildcard.
+	l := s.q.Nodes[u].Label
+	if l != pattern.Wildcard {
+		return s.g.NodesWithLabel(l)
+	}
+	all := make([]graph.NodeID, s.g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	return all
+}
+
+// feasible verifies that assigning v to pattern node u is consistent:
+// block membership, node label, degree bounds, and every pattern edge
+// between u and an already-assigned node.
+func (s *searcher) feasible(u int, v graph.NodeID) bool {
+	if !s.opts.Block.Contains(v) {
+		return false
+	}
+	if s.opts.StripeMod > 0 && u == s.opts.StripeNode && int(v)%s.opts.StripeMod != s.opts.StripeRem {
+		return false
+	}
+	if !pattern.LabelMatches(s.q.Nodes[u].Label, s.g.Label(v)) {
+		return false
+	}
+	if len(s.q.OutEdges(u)) > s.g.OutDegree(v) || len(s.q.InEdges(u)) > s.g.InDegree(v) {
+		return false
+	}
+	for _, ei := range s.q.OutEdges(u) {
+		e := s.q.Edges[ei]
+		to := s.assign[e.To]
+		if e.To == u {
+			to = v // self-loop
+		}
+		if to == graph.Invalid {
+			continue
+		}
+		if !s.hasEdge(v, to, e.Label) {
+			return false
+		}
+	}
+	for _, ei := range s.q.InEdges(u) {
+		e := s.q.Edges[ei]
+		if e.From == u {
+			continue // self-loop handled above
+		}
+		from := s.assign[e.From]
+		if from == graph.Invalid {
+			continue
+		}
+		if !s.hasEdge(from, v, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) hasEdge(from, to graph.NodeID, label string) bool {
+	if label == pattern.Wildcard {
+		return s.g.HasEdgeAnyLabel(from, to)
+	}
+	return s.g.HasEdge(from, to, label)
+}

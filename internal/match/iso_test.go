@@ -1,0 +1,273 @@
+package match
+
+import (
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// buildG1 reproduces Fig. 1's G1: two flight entities with private
+// satellites; flight1 Paris->NYC, flight2 Paris->Singapore, same id DL1
+// and times.
+func buildG1() *graph.Graph {
+	g := graph.New(0, 0)
+	addFlight := func(name, id, from, to, dep, arr string) graph.NodeID {
+		f := g.AddNode("flight", graph.Attrs{"val": name})
+		sat := func(label, val string) graph.NodeID {
+			return g.AddNode(label, graph.Attrs{"val": val})
+		}
+		g.MustAddEdge(f, sat("id", id), "number")
+		g.MustAddEdge(f, sat("city", from), "from")
+		g.MustAddEdge(f, sat("city", to), "to")
+		g.MustAddEdge(f, sat("time", dep), "depart")
+		g.MustAddEdge(f, sat("time", arr), "arrive")
+		return f
+	}
+	addFlight("flight1", "DL1", "Paris", "NYC", "14:50", "22:35")
+	addFlight("flight2", "DL1", "Paris", "Singapore", "14:50", "22:35")
+	return g
+}
+
+// flightComponent builds one component of the paper's Q1.
+func flightComponent(p *pattern.Pattern, prefix string) {
+	x := p.AddNode(pattern.Var(prefix), "flight")
+	labels := []string{"id", "city", "city", "time", "time"}
+	edges := []string{"number", "from", "to", "depart", "arrive"}
+	for i := range labels {
+		s := p.AddNode(pattern.Var(prefix+string(rune('1'+i))), labels[i])
+		p.AddEdge(x, s, edges[i])
+	}
+}
+
+func buildQ1() *pattern.Pattern {
+	p := pattern.New()
+	flightComponent(p, "x")
+	flightComponent(p, "y")
+	return p
+}
+
+func TestSingleComponentStarMatch(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	ms := All(g, q, Options{})
+	if len(ms) != 2 {
+		t.Fatalf("star matches = %d, want 2 (one per flight)", len(ms))
+	}
+	// Each match maps x to a flight node.
+	for _, m := range ms {
+		if g.Label(m[0]) != "flight" {
+			t.Errorf("x matched %s", g.Label(m[0]))
+		}
+	}
+}
+
+func TestTwoComponentMatchCount(t *testing.T) {
+	g := buildG1()
+	q := buildQ1()
+	ms := All(g, q, Options{})
+	// Two flights, ordered pairs with distinct entities: (f1,f2) and (f2,f1).
+	if len(ms) != 2 {
+		t.Fatalf("Q1 matches = %d, want 2", len(ms))
+	}
+	xi, _ := q.VarIndex("x")
+	yi, _ := q.VarIndex("y")
+	for _, m := range ms {
+		if m[xi] == m[yi] {
+			t.Error("injectivity violated: x == y")
+		}
+	}
+}
+
+func TestMatchIsInjective(t *testing.T) {
+	// Pattern: two city nodes. G1 has 4 city satellites -> 4*3 ordered pairs.
+	g := buildG1()
+	q := pattern.New()
+	q.AddNode("a", "city")
+	q.AddNode("b", "city")
+	if n := Count(g, q, Options{}); n != 12 {
+		t.Fatalf("city pairs = %d, want 12", n)
+	}
+}
+
+func TestEdgeLabelMatters(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	f := q.AddNode("f", "flight")
+	c := q.AddNode("c", "city")
+	q.AddEdge(f, c, "from")
+	if n := Count(g, q, Options{}); n != 2 {
+		t.Fatalf("from-matches = %d, want 2", n)
+	}
+	q2 := pattern.New()
+	f2 := q2.AddNode("f", "flight")
+	c2 := q2.AddNode("c", "city")
+	q2.AddEdge(f2, c2, "lands_at")
+	if Has(g, q2, Options{}) {
+		t.Error("nonexistent edge label must not match")
+	}
+}
+
+func TestWildcardNodeAndEdge(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	a := q.AddNode("a", pattern.Wildcard)
+	b := q.AddNode("b", "id")
+	q.AddEdge(a, b, pattern.Wildcard)
+	// Only flights point at id nodes: 2 matches.
+	if n := Count(g, q, Options{}); n != 2 {
+		t.Fatalf("wildcard matches = %d, want 2", n)
+	}
+}
+
+func TestPinRestrictsMatches(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	xi, _ := q.VarIndex("x")
+	flights := g.NodesWithLabel("flight")
+	ms := All(g, q, Options{Pin: map[int]graph.NodeID{xi: flights[0]}})
+	if len(ms) != 1 || ms[0][xi] != flights[0] {
+		t.Fatalf("pinned matches = %v", ms)
+	}
+	// Pin to an incompatible node: no matches.
+	cities := g.NodesWithLabel("city")
+	if Has(g, q, Options{Pin: map[int]graph.NodeID{xi: cities[0]}}) {
+		t.Error("pin to wrong-label node must not match")
+	}
+}
+
+func TestBlockRestrictsMatches(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	flights := g.NodesWithLabel("flight")
+	// Block = 1-hop around flight0 only.
+	block := graph.NewNodeSet(g.Neighborhood(flights[0], 1))
+	ms := All(g, q, Options{Block: block})
+	if len(ms) != 1 {
+		t.Fatalf("block-restricted matches = %d, want 1", len(ms))
+	}
+}
+
+func TestLimitStopsEnumeration(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	q.AddNode("a", "city")
+	q.AddNode("b", "city")
+	if n := len(All(g, q, Options{Limit: 3})); n != 3 {
+		t.Fatalf("limited matches = %d, want 3", n)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	q.AddNode("a", "city")
+	calls := 0
+	Enumerate(g, q, Options{}, func(core.Match) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop after %d yields", calls)
+	}
+}
+
+func TestStripePartitionsMatchSpace(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	total := Count(g, q, Options{})
+	sum := 0
+	mod := 3
+	for rem := 0; rem < mod; rem++ {
+		sum += Count(g, q, Options{StripeNode: 1, StripeMod: mod, StripeRem: rem})
+	}
+	if sum != total {
+		t.Fatalf("stripes sum to %d, total is %d", sum, total)
+	}
+}
+
+func TestCyclicPattern(t *testing.T) {
+	// Triangle in the graph.
+	g := graph.New(0, 0)
+	a := g.AddNode("n", nil)
+	b := g.AddNode("n", nil)
+	c := g.AddNode("n", nil)
+	g.MustAddEdge(a, b, "e")
+	g.MustAddEdge(b, c, "e")
+	g.MustAddEdge(c, a, "e")
+
+	q := pattern.New()
+	x := q.AddNode("x", "n")
+	y := q.AddNode("y", "n")
+	z := q.AddNode("z", "n")
+	q.AddEdge(x, y, "e")
+	q.AddEdge(y, z, "e")
+	q.AddEdge(z, x, "e")
+	// Directed triangle has 3 rotations as matches.
+	if n := Count(g, q, Options{}); n != 3 {
+		t.Fatalf("triangle matches = %d, want 3", n)
+	}
+}
+
+func TestSelfLoopPattern(t *testing.T) {
+	g := graph.New(0, 0)
+	a := g.AddNode("n", nil)
+	g.AddNode("n", nil)
+	g.MustAddEdge(a, a, "self")
+
+	q := pattern.New()
+	x := q.AddNode("x", "n")
+	q.AddEdge(x, x, "self")
+	ms := All(g, q, Options{})
+	if len(ms) != 1 || ms[0][0] != a {
+		t.Fatalf("self-loop matches = %v", ms)
+	}
+}
+
+func TestParallelPatternEdges(t *testing.T) {
+	// Pattern demands two differently-labeled edges between the same pair.
+	g := graph.New(0, 0)
+	a := g.AddNode("n", nil)
+	b := g.AddNode("n", nil)
+	g.MustAddEdge(a, b, "e1")
+	g.MustAddEdge(a, b, "e2")
+	c := g.AddNode("n", nil)
+	g.MustAddEdge(a, c, "e1")
+
+	q := pattern.New()
+	x := q.AddNode("x", "n")
+	y := q.AddNode("y", "n")
+	q.AddEdge(x, y, "e1")
+	q.AddEdge(x, y, "e2")
+	ms := All(g, q, Options{})
+	if len(ms) != 1 || ms[0][1] != b {
+		t.Fatalf("multi-edge matches = %v", ms)
+	}
+}
+
+func TestEmptyPatternYieldsNothing(t *testing.T) {
+	g := buildG1()
+	if Has(g, pattern.New(), Options{}) {
+		t.Error("empty pattern must yield no matches")
+	}
+}
+
+func TestMatchReuseRequiresCopy(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	q.AddNode("a", "flight")
+	var raw []core.Match
+	Enumerate(g, q, Options{}, func(m core.Match) bool {
+		raw = append(raw, m) // deliberately NOT copying
+		return true
+	})
+	// The doc says the slice is reused: both entries alias the same array.
+	if len(raw) == 2 && &raw[0][0] != &raw[1][0] {
+		t.Skip("implementation copies; nothing to verify")
+	}
+}

@@ -1,0 +1,100 @@
+package match
+
+import (
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// Simulate computes the (dual) graph simulation relation from pattern q to
+// graph g restricted to the node set block (nil = whole graph): for each
+// pattern node u it returns the set of graph nodes v that simulate u, i.e.
+// v's label matches u's and every pattern edge incident to u can be
+// followed from v into the simulation sets of u's neighbors.
+//
+// Simulation over-approximates subgraph isomorphism (every node that
+// participates in an isomorphic match simulates its pattern node) and is
+// computable in polynomial time; disVal uses it to estimate the number of
+// partial matches before deciding whether to ship partial matches or
+// prefetch data blocks (Section 6.2).
+func Simulate(g *graph.Graph, q *pattern.Pattern, block graph.NodeSet) []graph.NodeSet {
+	n := q.NumNodes()
+	sim := make([]graph.NodeSet, n)
+	for u := 0; u < n; u++ {
+		sim[u] = make(graph.NodeSet)
+		l := q.Nodes[u].Label
+		if l == pattern.Wildcard {
+			if block == nil {
+				for v := 0; v < g.NumNodes(); v++ {
+					sim[u].Add(graph.NodeID(v))
+				}
+			} else {
+				for v := range block {
+					sim[u].Add(v)
+				}
+			}
+		} else {
+			for _, v := range g.NodesWithLabel(l) {
+				if block.Contains(v) {
+					sim[u].Add(v)
+				}
+			}
+		}
+	}
+	// Iterate to fixpoint: drop v from sim(u) when some pattern edge at u
+	// has no counterpart from v into the current simulation sets.
+	changed := true
+	for changed {
+		changed = false
+		for u := 0; u < n; u++ {
+			for v := range sim[u] {
+				if !simFeasible(g, q, sim, u, v, block) {
+					delete(sim[u], v)
+					changed = true
+				}
+			}
+		}
+	}
+	return sim
+}
+
+func simFeasible(g *graph.Graph, q *pattern.Pattern, sim []graph.NodeSet, u int, v graph.NodeID, block graph.NodeSet) bool {
+	for _, ei := range q.OutEdges(u) {
+		e := q.Edges[ei]
+		if !hasSimSuccessor(g.Out(v), e.Label, sim[e.To], block) {
+			return false
+		}
+	}
+	for _, ei := range q.InEdges(u) {
+		e := q.Edges[ei]
+		if !hasSimSuccessor(g.In(v), e.Label, sim[e.From], block) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasSimSuccessor(adj []graph.HalfEdge, label string, target graph.NodeSet, block graph.NodeSet) bool {
+	for _, he := range adj {
+		if !pattern.LabelMatches(label, he.Label) {
+			continue
+		}
+		if !block.Contains(he.To) {
+			continue
+		}
+		if _, ok := target[he.To]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SimulationSize returns the total number of (pattern node, graph node)
+// pairs in the simulation relation; disVal's shipping-strategy selector
+// compares this estimate against the data-block size.
+func SimulationSize(sim []graph.NodeSet) int {
+	total := 0
+	for _, s := range sim {
+		total += s.Len()
+	}
+	return total
+}

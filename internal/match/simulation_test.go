@@ -1,0 +1,103 @@
+package match
+
+import (
+	"testing"
+
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+func TestSimulateBasic(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	f := q.AddNode("f", "flight")
+	c := q.AddNode("c", "city")
+	q.AddEdge(f, c, "from")
+
+	sim := Simulate(g, q, nil)
+	// Both flights have a from-city: sim(f) = 2 flights.
+	if sim[0].Len() != 2 {
+		t.Errorf("sim(f) = %d, want 2", sim[0].Len())
+	}
+	// Only the two from-cities simulate c (to-cities lack an incoming
+	// 'from' edge).
+	if sim[1].Len() != 2 {
+		t.Errorf("sim(c) = %d, want 2", sim[1].Len())
+	}
+}
+
+func TestSimulateOverApproximatesIso(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	sim := Simulate(g, q, nil)
+	for _, m := range All(g, q, Options{}) {
+		for u, v := range m {
+			if _, ok := sim[u][v]; !ok {
+				t.Fatalf("match node %d for pattern %d missing from simulation", v, u)
+			}
+		}
+	}
+}
+
+func TestSimulatePrunesDanglingCandidates(t *testing.T) {
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddNode("a", nil) // isolated 'a' node: cannot simulate
+	g.MustAddEdge(a, b, "e")
+
+	q := pattern.New()
+	x := q.AddNode("x", "a")
+	y := q.AddNode("y", "b")
+	q.AddEdge(x, y, "e")
+
+	sim := Simulate(g, q, nil)
+	if sim[0].Len() != 1 {
+		t.Errorf("sim(x) = %v, want only the connected 'a'", sim[0].Sorted())
+	}
+	if !sim[0].Contains(a) {
+		t.Error("connected 'a' pruned incorrectly")
+	}
+}
+
+func TestSimulateRespectsBlock(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	flightComponent(q, "x")
+	flights := g.NodesWithLabel("flight")
+	block := graph.NewNodeSet(g.Neighborhood(flights[0], 1))
+	sim := Simulate(g, q, block)
+	if sim[0].Len() != 1 || !sim[0].Contains(flights[0]) {
+		t.Errorf("block-restricted sim(x) = %v", sim[0].Sorted())
+	}
+}
+
+func TestSimulateCyclicPattern(t *testing.T) {
+	// A directed 2-cycle pattern over a graph with only a chain: empty sim.
+	g := graph.New(0, 0)
+	a := g.AddNode("n", nil)
+	b := g.AddNode("n", nil)
+	g.MustAddEdge(a, b, "e")
+
+	q := pattern.New()
+	x := q.AddNode("x", "n")
+	y := q.AddNode("y", "n")
+	q.AddEdge(x, y, "e")
+	q.AddEdge(y, x, "e")
+
+	sim := Simulate(g, q, nil)
+	if sim[0].Len() != 0 || sim[1].Len() != 0 {
+		t.Errorf("chain cannot simulate a cycle: %v %v", sim[0].Sorted(), sim[1].Sorted())
+	}
+}
+
+func TestSimulationSize(t *testing.T) {
+	g := buildG1()
+	q := pattern.New()
+	q.AddNode("x", "flight")
+	sim := Simulate(g, q, nil)
+	if SimulationSize(sim) != 2 {
+		t.Errorf("SimulationSize = %d, want 2", SimulationSize(sim))
+	}
+}

@@ -1,0 +1,166 @@
+package pattern
+
+// Components returns the maximal connected components of p (edges treated
+// as undirected), each as a sorted slice of node indices, ordered by their
+// smallest member. Patterns in GFDs typically have 1 or 2 components
+// (Section 5.2 of the paper).
+func (p *Pattern) Components() [][]int {
+	n := len(p.Nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(comps)
+		stack := []int{start}
+		comp[start] = id
+		var members []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, ei := range p.out[v] {
+				if w := p.Edges[ei].To; comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+			for _, ei := range p.in[v] {
+				if w := p.Edges[ei].From; comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		sortInts(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Eccentricity returns the longest undirected shortest-path distance from
+// node v to any node reachable from it (its component). This is the radius
+// c_Q of the component when v is its center.
+func (p *Pattern) Eccentricity(v int) int {
+	dist := map[int]int{v: 0}
+	frontier := []int{v}
+	max := 0
+	for d := 1; len(frontier) > 0; d++ {
+		var next []int
+		for _, u := range frontier {
+			for _, ei := range p.out[u] {
+				if w := p.Edges[ei].To; !contains(dist, w) {
+					dist[w] = d
+					next = append(next, w)
+					max = d
+				}
+			}
+			for _, ei := range p.in[u] {
+				if w := p.Edges[ei].From; !contains(dist, w) {
+					dist[w] = d
+					next = append(next, w)
+					max = d
+				}
+			}
+		}
+		frontier = next
+	}
+	return max
+}
+
+// Center returns, for the component whose members are given, the member with
+// minimum eccentricity (ties broken by smallest index) and that minimum
+// eccentricity. This is the pivot selection rule of Section 5.2.
+func (p *Pattern) Center(members []int) (node, radius int) {
+	node, radius = -1, int(^uint(0)>>1)
+	for _, v := range members {
+		if ecc := p.Eccentricity(v); ecc < radius {
+			node, radius = v, ecc
+		}
+	}
+	return node, radius
+}
+
+// IsTree reports whether every connected component of p is a tree when
+// edges are treated as undirected (|E_c| = |V_c| - 1 for each component and
+// no multi-edges between the same unordered node pair). Tree patterns admit
+// PTIME satisfiability and implication analyses (Corollaries 4 and 8).
+func (p *Pattern) IsTree() bool {
+	comps := p.Components()
+	edgeCount := make([]int, len(comps))
+	compOf := make([]int, len(p.Nodes))
+	for ci, members := range comps {
+		for _, v := range members {
+			compOf[v] = ci
+		}
+	}
+	type pair struct{ a, b int }
+	seen := make(map[pair]struct{}, len(p.Edges))
+	for _, e := range p.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		if _, dup := seen[pair{a, b}]; dup {
+			return false // multi-edge or 2-cycle creates an undirected cycle
+		}
+		seen[pair{a, b}] = struct{}{}
+		if a == b {
+			return false // self-loop
+		}
+		edgeCount[compOf[e.From]]++
+	}
+	for ci, members := range comps {
+		if edgeCount[ci] != len(members)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDAG reports whether p has no directed cycle.
+func (p *Pattern) IsDAG() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(p.Nodes))
+	var visit func(v int) bool
+	visit = func(v int) bool {
+		color[v] = gray
+		for _, ei := range p.out[v] {
+			w := p.Edges[ei].To
+			switch color[w] {
+			case gray:
+				return false
+			case white:
+				if !visit(w) {
+					return false
+				}
+			}
+		}
+		color[v] = black
+		return true
+	}
+	for v := range p.Nodes {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(m map[int]int, k int) bool { _, ok := m[k]; return ok }
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package reason implements the static analyses of GFDs (Section 4 of the
+// paper): satisfiability of a set Σ (is there a non-empty model satisfying
+// every rule with every pattern matched?), implication (Σ |= ϕ), the
+// tractable special cases of Corollaries 4 and 8, and implication-based
+// workload reduction (a minimal cover of Σ).
+//
+// Both analyses reduce to computing equality closures of literal sets over
+// a single host pattern — enforced(Σ_Q) for satisfiability and
+// closure(Σ_Q, X) for implication — using the embedded-GFD construction:
+// every rule of Σ whose pattern embeds isomorphically into the host
+// contributes its literals, rewritten through the embedding.
+package reason
+
+// term is an attribute occurrence u.A on a host-pattern node: the unit the
+// equality closure reasons over.
+type term struct {
+	node int    // host pattern node index
+	attr string // attribute name
+}
+
+// eqRel is a union-find over terms where each equivalence class may carry
+// at most one constant. Merging classes with distinct constants, or binding
+// a class to a second distinct constant, raises a conflict — the condition
+// defining "conflicting" literal sets in Lemma 3.
+type eqRel struct {
+	parent map[term]term
+	rank   map[term]int
+	val    map[term]string // representative -> bound constant
+	// conflict is set permanently once two distinct constants meet in one
+	// class; conflicted closures characterize unsatisfiability.
+	conflict bool
+}
+
+func newEqRel() *eqRel {
+	return &eqRel{
+		parent: make(map[term]term),
+		rank:   make(map[term]int),
+		val:    make(map[term]string),
+	}
+}
+
+func (r *eqRel) find(t term) term {
+	p, ok := r.parent[t]
+	if !ok {
+		r.parent[t] = t
+		return t
+	}
+	if p == t {
+		return t
+	}
+	root := r.find(p)
+	r.parent[t] = root
+	return root
+}
+
+// union merges the classes of a and b, reporting whether anything changed.
+func (r *eqRel) union(a, b term) bool {
+	ra, rb := r.find(a), r.find(b)
+	if ra == rb {
+		return false
+	}
+	va, hasA := r.val[ra]
+	vb, hasB := r.val[rb]
+	if hasA && hasB && va != vb {
+		r.conflict = true
+	}
+	if r.rank[ra] < r.rank[rb] {
+		ra, rb = rb, ra
+		va, hasA = vb, hasB
+	}
+	r.parent[rb] = ra
+	if r.rank[ra] == r.rank[rb] {
+		r.rank[ra]++
+	}
+	if !hasA && hasB {
+		r.val[ra] = vb
+	} else if hasA {
+		r.val[ra] = va
+	}
+	delete(r.val, rb)
+	return true
+}
+
+// bind asserts t = c, reporting whether anything changed.
+func (r *eqRel) bind(t term, c string) bool {
+	root := r.find(t)
+	if v, ok := r.val[root]; ok {
+		if v != c {
+			r.conflict = true
+		}
+		return false
+	}
+	r.val[root] = c
+	return true
+}
+
+// sameClass reports whether a and b are known equal: same class, or both
+// bound to the same constant (transitivity through constants).
+func (r *eqRel) sameClass(a, b term) bool {
+	ra, rb := r.find(a), r.find(b)
+	if ra == rb {
+		return true
+	}
+	va, okA := r.val[ra]
+	vb, okB := r.val[rb]
+	return okA && okB && va == vb
+}
+
+// hasConst reports whether t is known equal to c.
+func (r *eqRel) hasConst(t term, c string) bool {
+	v, ok := r.val[r.find(t)]
+	return ok && v == c
+}
+
+// holds evaluates an embedded literal against the current closure.
+func (r *eqRel) holds(l hostLiteral) bool {
+	if l.kind == litConst {
+		return r.hasConst(term{l.xNode, l.a}, l.c)
+	}
+	return r.sameClass(term{l.xNode, l.a}, term{l.yNode, l.b})
+}
+
+// apply asserts an embedded literal, reporting whether the closure changed.
+func (r *eqRel) apply(l hostLiteral) bool {
+	if l.kind == litConst {
+		return r.bind(term{l.xNode, l.a}, l.c)
+	}
+	return r.union(term{l.xNode, l.a}, term{l.yNode, l.b})
+}

@@ -1,0 +1,136 @@
+package reason
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gfd/internal/core"
+	"gfd/internal/pattern"
+)
+
+// randomRuleSet builds a small random constant-GFD set over a couple of
+// labels — the fragment where satisfiability is interesting.
+func randomRuleSet(seed int64) *core.Set {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"t", "s"}
+	attrs := []string{"A", "B"}
+	consts := []string{"c", "d"}
+	n := 1 + rng.Intn(4)
+	rules := make([]*core.GFD, 0, n)
+	for i := 0; i < n; i++ {
+		q := pattern.New()
+		q.AddNode("x", labels[rng.Intn(len(labels))])
+		if rng.Intn(2) == 0 {
+			y := q.AddNode("y", labels[rng.Intn(len(labels))])
+			xi, _ := q.VarIndex("x")
+			q.AddEdge(xi, y, "e")
+		}
+		var x []core.Literal
+		if rng.Intn(2) == 0 {
+			x = append(x, core.Const("x", attrs[rng.Intn(2)], consts[rng.Intn(2)]))
+		}
+		y := []core.Literal{core.Const("x", attrs[rng.Intn(2)], consts[rng.Intn(2)])}
+		rules = append(rules, core.MustNew(fmt.Sprintf("r%d", i), q, x, y))
+	}
+	return core.MustNewSet(rules...)
+}
+
+// TestPropertySatisfiabilityAntiMonotone: removing a rule from a
+// satisfiable set keeps it satisfiable (conflicts need all their
+// participants).
+func TestPropertySatisfiabilityAntiMonotone(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		set := randomRuleSet(int64(seedRaw))
+		ok, _ := Satisfiable(set)
+		if !ok {
+			return true // nothing to check
+		}
+		rules := set.Rules()
+		for i := range rules {
+			rest := make([]*core.GFD, 0, len(rules)-1)
+			rest = append(rest, rules[:i]...)
+			rest = append(rest, rules[i+1:]...)
+			if len(rest) == 0 {
+				continue
+			}
+			if ok2, _ := Satisfiable(core.MustNewSet(rest...)); !ok2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyImplicationMonotone: if Σ |= ϕ then any superset of Σ also
+// implies ϕ (the closure only grows with more embedded rules).
+func TestPropertyImplicationMonotone(t *testing.T) {
+	f := func(seedRaw uint32, extraRaw uint32) bool {
+		set := randomRuleSet(int64(seedRaw))
+		extra := randomRuleSet(int64(extraRaw) + 1<<32)
+		phi := set.Rules()[0]
+		if !Implies(set, phi) {
+			return true // reflexivity guarantees this never fires, but be safe
+		}
+		var all []*core.GFD
+		all = append(all, set.Rules()...)
+		for i, r := range extra.Rules() {
+			clone := core.MustNew(fmt.Sprintf("x%d", i), r.Q, r.X, r.Y)
+			all = append(all, clone)
+		}
+		return Implies(core.MustNewSet(all...), phi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReduceSoundness: every dropped rule is implied by the
+// surviving cover, and the cover itself is a subset of Σ.
+func TestPropertyReduceSoundness(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		set := randomRuleSet(int64(seedRaw))
+		if ok, _ := Satisfiable(set); !ok {
+			return true // Reduce assumes satisfiable input
+		}
+		red := Reduce(set)
+		if red.Len() > set.Len() {
+			return false
+		}
+		for _, f := range red.Rules() {
+			if set.Get(f.Name) == nil {
+				return false // cover must be a subset
+			}
+		}
+		for _, f := range set.Rules() {
+			if red.Get(f.Name) == nil && !Implies(red, f) {
+				return false // dropped rules must be implied
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyXSatisfiableNeverBlocksSingleLiteral: any single constant
+// binding is satisfiable.
+func TestPropertyXSatisfiableNeverBlocksSingleLiteral(t *testing.T) {
+	f := func(attr, val string) bool {
+		if attr == "" {
+			return true
+		}
+		q := pattern.New()
+		q.AddNode("x", "t")
+		g := core.MustNew("g", q, []core.Literal{core.Const("x", attr, val)}, nil)
+		return XSatisfiable(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+	"gfd/internal/validate"
+)
+
+func constantRule() *core.Set {
+	q := pattern.New()
+	q.AddNode("x", "R")
+	return core.MustNewSet(core.MustNew("uk_city", q,
+		[]core.Literal{core.Const("x", "area_code", "131")},
+		[]core.Literal{core.Const("x", "city", "Edi")}))
+}
+
+func TestSuggestConstantLiteral(t *testing.T) {
+	g := graph.New(0, 0)
+	bad := g.AddNode("R", graph.Attrs{"area_code": "131", "city": "Gla"})
+	g.AddNode("R", graph.Attrs{"area_code": "131", "city": "Edi"})
+	set := constantRule()
+	vio := validate.DetVio(g, set)
+	if len(vio) != 1 {
+		t.Fatalf("violations = %d", len(vio))
+	}
+	sugg := Suggest(g, set, vio)
+	if len(sugg) != 1 {
+		t.Fatalf("suggestions = %d", len(sugg))
+	}
+	s := sugg[0]
+	if s.Node != bad || s.Attr != "city" || s.Proposed != "Edi" || s.Current != "Gla" {
+		t.Errorf("suggestion = %+v", s)
+	}
+	if s.Confidence != 1.0 {
+		t.Errorf("constant repairs have full confidence, got %v", s.Confidence)
+	}
+	if len(s.Rules) != 1 || s.Rules[0] != "uk_city" {
+		t.Errorf("evidence = %v", s.Rules)
+	}
+	if !strings.Contains(s.String(), "Edi") {
+		t.Error("String must describe the proposal")
+	}
+}
+
+func TestSuggestVariableLiteralMajority(t *testing.T) {
+	// A hub city whose three residents' country attribute must match the
+	// city's: one corrupted hub value disagrees with three partners, so
+	// the hub is blamed with their (unanimous) value proposed.
+	q := pattern.New()
+	p := q.AddNode("p", "person")
+	c := q.AddNode("c", "city")
+	q.AddEdge(p, c, "born_in")
+	set := core.MustNewSet(core.MustNew("cc", q, nil,
+		[]core.Literal{core.VarEq("p", "country", "c", "country")}))
+
+	g := graph.New(0, 0)
+	hub := g.AddNode("city", graph.Attrs{"country": "WRONG"})
+	for i := 0; i < 3; i++ {
+		pn := g.AddNode("person", graph.Attrs{"country": "FR"})
+		g.MustAddEdge(pn, hub, "born_in")
+	}
+	vio := validate.DetVio(g, set)
+	if len(vio) != 3 {
+		t.Fatalf("violations = %d", len(vio))
+	}
+	sugg := Suggest(g, set, vio)
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := sugg[0]
+	if top.Node != hub || top.Proposed != "FR" {
+		t.Errorf("top suggestion = %+v, want hub -> FR", top)
+	}
+	// The hub (3 partners) must outrank any single person (1 partner).
+	for _, s := range sugg[1:] {
+		if s.Confidence > top.Confidence {
+			t.Errorf("suggestion %+v outranks the hub", s)
+		}
+	}
+}
+
+func TestSuggestTieLowConfidence(t *testing.T) {
+	// A 1-vs-1 disagreement is symmetric: both sides get suggestions at
+	// reduced confidence.
+	q := pattern.New()
+	a := q.AddNode("a", "n")
+	b := q.AddNode("b", "n")
+	q.AddEdge(a, b, "e")
+	set := core.MustNewSet(core.MustNew("eq", q, nil,
+		[]core.Literal{core.VarEq("a", "v", "b", "v")}))
+
+	g := graph.New(0, 0)
+	x := g.AddNode("n", graph.Attrs{"v": "1"})
+	y := g.AddNode("n", graph.Attrs{"v": "2"})
+	g.MustAddEdge(x, y, "e")
+
+	sugg := Suggest(g, set, validate.DetVio(g, set))
+	if len(sugg) != 2 {
+		t.Fatalf("want both sides suggested, got %d", len(sugg))
+	}
+	for _, s := range sugg {
+		if s.Confidence > 0.5 {
+			t.Errorf("tie suggestion too confident: %+v", s)
+		}
+	}
+}
+
+func TestApplyRepairsGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	g.AddNode("R", graph.Attrs{"area_code": "131", "city": "Gla"})
+	set := constantRule()
+	vio := validate.DetVio(g, set)
+	sugg := Suggest(g, set, vio)
+	if n := Apply(g, sugg, 0.9); n != 1 {
+		t.Fatalf("applied %d repairs, want 1", n)
+	}
+	// After repair the graph satisfies Σ.
+	if !validate.Satisfies(g, set) {
+		t.Error("applied repair did not clear the violation")
+	}
+	// Re-applying changes nothing.
+	if n := Apply(g, Suggest(g, set, validate.DetVio(g, set)), 0.9); n != 0 {
+		t.Errorf("idempotent re-apply changed %d cells", n)
+	}
+}
+
+func TestApplyThresholdFilters(t *testing.T) {
+	g := graph.New(0, 0)
+	x := g.AddNode("n", graph.Attrs{"v": "1"})
+	y := g.AddNode("n", graph.Attrs{"v": "2"})
+	g.MustAddEdge(x, y, "e")
+	q := pattern.New()
+	a := q.AddNode("a", "n")
+	b := q.AddNode("b", "n")
+	q.AddEdge(a, b, "e")
+	set := core.MustNewSet(core.MustNew("eq", q, nil,
+		[]core.Literal{core.VarEq("a", "v", "b", "v")}))
+	sugg := Suggest(g, set, validate.DetVio(g, set))
+	if n := Apply(g, sugg, 0.9); n != 0 {
+		t.Errorf("low-confidence ties must not auto-apply, applied %d", n)
+	}
+}
+
+func TestSuggestMissingAttribute(t *testing.T) {
+	// Missing Y-attribute: the constant rule proposes creating it.
+	g := graph.New(0, 0)
+	bad := g.AddNode("R", graph.Attrs{"area_code": "131"})
+	set := constantRule()
+	sugg := Suggest(g, set, validate.DetVio(g, set))
+	if len(sugg) != 1 || sugg[0].Node != bad || sugg[0].Current != "" || sugg[0].Proposed != "Edi" {
+		t.Errorf("suggestions = %+v", sugg)
+	}
+}

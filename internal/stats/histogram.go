@@ -1,0 +1,119 @@
+// Package stats provides the statistics substrate the workload estimator
+// relies on: equi-depth histograms over candidate sets (used by bPar to
+// derive m-balanced range partitions, Section 6.1) and degree/skew
+// statistics over graphs (used by the skew experiments of the Appendix).
+package stats
+
+import (
+	"sort"
+
+	"gfd/internal/graph"
+)
+
+// Range is a half-open slice [Lo, Hi) of a sorted candidate list. Workload
+// estimation messages carry ranges rather than explicit candidate lists.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of candidates covered by the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// EquiDepth partitions n sorted candidates into at most m ranges of nearly
+// equal cardinality (an m-balanced partition in the paper's terminology).
+// It returns fewer than m ranges when n < m.
+func EquiDepth(n, m int) []Range {
+	if n <= 0 || m <= 0 {
+		return nil
+	}
+	if m > n {
+		m = n
+	}
+	out := make([]Range, 0, m)
+	base, rem := n/m, n%m
+	lo := 0
+	for i := 0; i < m; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// EquiDepthByValue partitions candidates into at most m ranges balanced by
+// cardinality after sorting by the given attribute value (candidates
+// missing the attribute sort first by ID). This mirrors the paper's
+// equi-depth histogram over a selected attribute of C(µ(z)); the returned
+// order is the sorted candidate list the ranges index into.
+func EquiDepthByValue(g *graph.Graph, candidates []graph.NodeID, attr string, m int) ([]graph.NodeID, []Range) {
+	sorted := append([]graph.NodeID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		vi, oki := g.Attr(sorted[i], attr)
+		vj, okj := g.Attr(sorted[j], attr)
+		switch {
+		case oki != okj:
+			return !oki // missing first
+		case vi != vj:
+			return vi < vj
+		default:
+			return sorted[i] < sorted[j]
+		}
+	})
+	return sorted, EquiDepth(len(sorted), m)
+}
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	Max    int
+	Mean   float64
+	P50    int
+	P90    int
+	P99    int
+	Gini   float64 // inequality of the degree distribution, 0 = uniform
+	SkewDM float64 // |G_dm| / |G_dm'|: mean size of bottom-10% vs top-10% d-hop neighborhoods
+}
+
+// Degrees computes degree statistics for g. The SkewDM measure follows the
+// Appendix: the ratio of the average size of the 10% smallest d-hop
+// neighborhoods to the 10% largest (d fixed at 1 here for tractability;
+// the generators control the true d=3 skew knob).
+func Degrees(g *graph.Graph) DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	deg := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		deg[i] = g.Degree(graph.NodeID(i))
+		total += deg[i]
+	}
+	sort.Ints(deg)
+	pick := func(q float64) int { return deg[min(n-1, int(q*float64(n)))] }
+	ds := DegreeStats{
+		Max:  deg[n-1],
+		Mean: float64(total) / float64(n),
+		P50:  pick(0.50),
+		P90:  pick(0.90),
+		P99:  pick(0.99),
+	}
+	// Gini coefficient over degrees.
+	if total > 0 {
+		var cum float64
+		for i, d := range deg {
+			cum += float64(d) * float64(2*(i+1)-n-1)
+		}
+		ds.Gini = cum / (float64(n) * float64(total))
+	}
+	tenth := max(1, n/10)
+	var small, large int
+	for i := 0; i < tenth; i++ {
+		small += deg[i] + 1
+		large += deg[n-1-i] + 1
+	}
+	ds.SkewDM = float64(small) / float64(large)
+	return ds
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+)
+
+func TestEquiDepthBasic(t *testing.T) {
+	rs := EquiDepth(10, 3)
+	if len(rs) != 3 {
+		t.Fatalf("ranges = %d", len(rs))
+	}
+	// Sizes 4,3,3 covering [0,10).
+	if rs[0].Len() != 4 || rs[1].Len() != 3 || rs[2].Len() != 3 {
+		t.Errorf("range sizes = %d,%d,%d", rs[0].Len(), rs[1].Len(), rs[2].Len())
+	}
+	if rs[0].Lo != 0 || rs[2].Hi != 10 {
+		t.Errorf("coverage = [%d,%d)", rs[0].Lo, rs[2].Hi)
+	}
+}
+
+func TestEquiDepthEdgeCases(t *testing.T) {
+	if EquiDepth(0, 3) != nil {
+		t.Error("empty input yields no ranges")
+	}
+	if EquiDepth(5, 0) != nil {
+		t.Error("zero ranges yields nil")
+	}
+	if got := EquiDepth(2, 5); len(got) != 2 {
+		t.Errorf("m > n must clamp: %d ranges", len(got))
+	}
+}
+
+func TestEquiDepthCoversExactlyProperty(t *testing.T) {
+	f := func(nRaw, mRaw uint16) bool {
+		n, m := int(nRaw%5000)+1, int(mRaw%64)+1
+		rs := EquiDepth(n, m)
+		pos := 0
+		for _, r := range rs {
+			if r.Lo != pos || r.Hi < r.Lo {
+				return false
+			}
+			pos = r.Hi
+		}
+		if pos != n {
+			return false
+		}
+		// Balance: sizes differ by at most 1.
+		min, max := n, 0
+		for _, r := range rs {
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDepthByValue(t *testing.T) {
+	g := graph.New(0, 0)
+	var ids []graph.NodeID
+	for i := 0; i < 9; i++ {
+		ids = append(ids, g.AddNode("n", graph.Attrs{"val": fmt.Sprintf("%d", 9-i)}))
+	}
+	// One node missing the attribute sorts first.
+	ids = append(ids, g.AddNode("n", nil))
+	sorted, rs := EquiDepthByValue(g, ids, "val", 2)
+	if len(sorted) != 10 || len(rs) != 2 {
+		t.Fatalf("sorted=%d ranges=%d", len(sorted), len(rs))
+	}
+	if sorted[0] != ids[9] {
+		t.Error("missing-attribute node must sort first")
+	}
+	// Values ascend lexicographically afterwards.
+	prev := ""
+	for _, id := range sorted[1:] {
+		v, _ := g.Attr(id, "val")
+		if v < prev {
+			t.Errorf("sort order broken at %q < %q", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDegreesOnKnownGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	hub := g.AddNode("h", nil)
+	for i := 0; i < 9; i++ {
+		v := g.AddNode("s", nil)
+		g.MustAddEdge(hub, v, "e")
+	}
+	ds := Degrees(g)
+	if ds.Max != 9 {
+		t.Errorf("Max = %d", ds.Max)
+	}
+	if ds.Mean != 1.8 { // 18 endpoints over 10 nodes
+		t.Errorf("Mean = %v", ds.Mean)
+	}
+	if ds.P50 != 1 {
+		t.Errorf("P50 = %d", ds.P50)
+	}
+	if ds.Gini <= 0 {
+		t.Errorf("hub-and-spoke must have positive Gini, got %v", ds.Gini)
+	}
+	if ds.SkewDM <= 0 || ds.SkewDM > 1 {
+		t.Errorf("SkewDM = %v outside (0,1]", ds.SkewDM)
+	}
+}
+
+func TestDegreesEmptyGraph(t *testing.T) {
+	ds := Degrees(graph.New(0, 0))
+	if ds.Max != 0 || ds.Mean != 0 {
+		t.Error("empty graph stats must be zero")
+	}
+}
+
+func TestSkewKnobOrdersSkewDM(t *testing.T) {
+	flat := gen.Synthetic(gen.SyntheticConfig{Nodes: 3000, Edges: 9000, Skew: 0.0, Seed: 1})
+	skewed := gen.Synthetic(gen.SyntheticConfig{Nodes: 3000, Edges: 9000, Skew: 0.9, Seed: 1})
+	dsFlat, dsSkewed := Degrees(flat), Degrees(skewed)
+	if dsSkewed.SkewDM >= dsFlat.SkewDM {
+		t.Errorf("higher Skew must yield smaller SkewDM: %v vs %v", dsSkewed.SkewDM, dsFlat.SkewDM)
+	}
+	if dsSkewed.Max <= dsFlat.Max {
+		t.Errorf("higher Skew must yield larger hubs: %d vs %d", dsSkewed.Max, dsFlat.Max)
+	}
+}

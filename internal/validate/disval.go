@@ -1,0 +1,255 @@
+package validate
+
+import (
+	"time"
+
+	"gfd/internal/cluster"
+	"gfd/internal/core"
+	"gfd/internal/fragment"
+	"gfd/internal/graph"
+	"gfd/internal/match"
+	"gfd/internal/pattern"
+	"gfd/internal/workload"
+)
+
+// DisVal is the parallel error-detection algorithm for fragmented graphs
+// (Section 6.2 / Theorem 11). Each fragment F_i resides at worker i; the
+// coordinator assembles work units from per-fragment partial units and
+// computes a bi-criteria assignment that balances load while minimizing
+// the data shipped to assemble each unit's block. Local detection then
+// chooses per unit between prefetching the missing block parts and
+// shipping partial matches, whichever is estimated cheaper.
+//
+// Variants: Options.RandomAssign yields disran, Options.NoOptimize yields
+// disnop (no grouping/dedup/splitting, always prefetch).
+func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Options) *Result {
+	opt = opt.normalize()
+	if frag.N != opt.N {
+		// The fragmentation fixes worker count; workers beyond frag.N
+		// would own no data.
+		opt.N = frag.N
+	}
+	start := time.Now()
+	cl := cluster.New(opt.N, opt.Cost)
+	res := &Result{}
+
+	set = maybeReduce(set, opt)
+	res.Rules = set.Len()
+	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
+	res.Groups = len(groups)
+
+	// ---- disPar: estimation with border/ownership accounting ---------
+	estStart := time.Now()
+	// Each fragment reports its local candidates with block-part sizes and
+	// border-node lists to the coordinator (one message per candidate,
+	// carrying per-fragment ownership of the candidate's c-neighborhood).
+	chargeCandidateMessages(g, cl, frag, groups)
+	cl.EndRound()
+	units, estSpan := estimateUnits(g, cl, groups, opt)
+	res.EstimateSpan = estSpan
+	theta := splitThreshold(opt, units)
+	var split int
+	units, split = applySplit(units, groups, theta)
+	res.SplitUnits = split
+	// Attach per-worker shipping costs to each unit.
+	for i := range units {
+		attachShipCosts(g, frag, groups, &units[i])
+	}
+	res.Units = len(units)
+	res.EstimateWall = time.Since(estStart)
+
+	// ---- disPar: bi-criteria assignment ------------------------------
+	weights := make([]int, len(units))
+	for i, u := range units {
+		weights[i] = u.Weight()
+		res.TotalWeight += int64(u.Weight())
+	}
+	var assign workload.Assignment
+	if opt.RandomAssign {
+		assign = workload.BalanceRandom(weights, opt.N, opt.Seed)
+	} else {
+		cc := func(unit, worker int) int64 { return units[unit].shipBytes[worker] }
+		assign = workload.BalanceBiCriteria(weights, opt.N, cc, commCostWeight)
+	}
+	res.Makespan = assign.Makespan(weights)
+	for w, idxs := range assign {
+		cl.Ship(cluster.Coordinator, w, int64(len(idxs))*unitDescriptorBytes)
+	}
+	cl.EndRound()
+
+	// ---- dlocalVio: detection with prefetch / partial-match choice ---
+	detStart := time.Now()
+	perWorker := make([]Report, opt.N)
+	prefetched := make([]int, opt.N)
+	partials := make([]int, opt.N)
+	busy := cl.RunMeasured(func(w int) {
+		var out Report
+		for _, ui := range assign[w] {
+			u := units[ui]
+			grp := groups[u.group]
+			shipped := u.shipBytes[w]
+			strategy := "prefetch"
+			// Weighing partial-match shipping against prefetching costs a
+			// scan of the block; it is only worth considering when the
+			// prefetch is substantial.
+			if !opt.NoOptimize && shipped > minPartialConsideration {
+				if pb := partialMatchBytes(g, frag, grp, u, w, shipped); pb < shipped {
+					shipped = pb
+					strategy = "partial"
+				}
+			}
+			if shipped > 0 {
+				// Data arrives from each fragment owning a missing part;
+				// charge it as one bulk transfer into w.
+				cl.Ship(owningPeer(frag, u, w), w, shipped)
+			}
+			if strategy == "partial" {
+				partials[w]++
+			} else {
+				prefetched[w]++
+			}
+			detectUnit(g, grp, u, !opt.NoOptimize, &out)
+		}
+		perWorker[w] = out
+	})
+	res.DetectWall = time.Since(detStart)
+	res.DetectSpan = cluster.MaxSpan(busy)
+	cl.EndRound() // block/partial-match exchanges during detection
+
+	for w, out := range perWorker {
+		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
+		res.Violations = append(res.Violations, out...)
+		res.PrefetchUnits += prefetched[w]
+		res.PartialUnits += partials[w]
+	}
+	cl.EndRound()
+	res.Violations.Sort()
+
+	st := cl.Stats()
+	res.BytesShipped = st.TotalBytes
+	res.Messages = st.TotalMsgs
+	res.Comm = cl.CommTime()
+	res.Wall = time.Since(start)
+	return res
+}
+
+// commCostWeight converts shipped bytes into load-comparable units for the
+// bi-criteria greedy (c_s in the paper's CC(w) = c_s·|M|). Block sizes are
+// |V|+|E| counts while shipping is in bytes; one block element is worth
+// roughly a few tens of bytes on the wire.
+const commCostWeight = 1.0 / 32
+
+// chargeCandidateMessages accounts the M_i estimation messages of disPar:
+// every fragment reports its local pivot candidates (candidate id,
+// block-part size, border nodes) to the coordinator as one batched message
+// per fragment, sized per candidate descriptor.
+func chargeCandidateMessages(g *graph.Graph, cl *cluster.Cluster, frag *fragment.Fragmentation, groups []*ruleGroup) {
+	type key struct {
+		node  graph.NodeID
+		owner int
+	}
+	seen := make(map[key]struct{})
+	perOwner := make([]int64, frag.N)
+	for _, grp := range groups {
+		for i := 0; i < grp.pivot.Arity(); i++ {
+			for _, c := range grp.pivot.Candidates(g, i) {
+				k := key{c, frag.OwnerOf(c)}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				perOwner[k.owner] += candidateInfoBytes + int64(frag.N)*8
+			}
+		}
+	}
+	for owner, bytes := range perOwner {
+		if bytes > 0 {
+			cl.Ship(owner, cluster.Coordinator, bytes)
+		}
+	}
+}
+
+// attachShipCosts computes, for every worker, the bytes that must be
+// shipped to it to assemble the unit's data block (its non-local part).
+func attachShipCosts(g *graph.Graph, frag *fragment.Fragmentation, groups []*ruleGroup, u *workUnit) {
+	block := u.Block(g).Sorted()
+	u.shipBytes = make([]int64, frag.N)
+	var total int64
+	perOwner := make([]int64, frag.N)
+	for _, v := range block {
+		b := fragment.NodeBytes(g, v)
+		perOwner[frag.OwnerOf(v)] += b
+		total += b
+	}
+	for w := 0; w < frag.N; w++ {
+		u.shipBytes[w] = total - perOwner[w]
+	}
+	u.totalBytes = total
+}
+
+// partialMatchBytes estimates the cost of the partial-match shipping
+// strategy: the graph-simulation relation of the group pattern restricted
+// to the unit's block over-approximates the partial matches that would be
+// exchanged; each pair costs a fixed descriptor. Only pairs on nodes not
+// owned by worker w need shipping.
+//
+// The simulation fixpoint is only worth computing when it could win: a
+// label-compatibility count (an upper bound on the simulation size, O(1)
+// per block node) prefilters units whose partial matches could not beat
+// prefetching, keeping the strategy selector itself cheap — the paper's
+// dlocalVio likewise estimates before exchanging.
+func partialMatchBytes(g *graph.Graph, frag *fragment.Fragmentation, grp *ruleGroup, u workUnit, w int, prefetchBytes int64) int64 {
+	block := u.Block(g)
+	var upper int64
+	for v := range block {
+		if frag.OwnerOf(v) == w {
+			continue
+		}
+		l := g.Label(v)
+		for _, n := range grp.q.Nodes {
+			if pattern.LabelMatches(n.Label, l) {
+				upper += partialDescriptorBytes
+			}
+		}
+	}
+	if upper >= prefetchBytes {
+		return upper // cannot win; skip the fixpoint
+	}
+	sim := match.Simulate(g, grp.q, block)
+	var pairs int64
+	for _, s := range sim {
+		for v := range s {
+			if frag.OwnerOf(v) != w {
+				pairs++
+			}
+		}
+	}
+	return pairs * partialDescriptorBytes
+}
+
+// partialDescriptorBytes is the wire size of one (pattern node, graph
+// node) partial-match descriptor.
+const partialDescriptorBytes = 24
+
+// minPartialConsideration is the prefetch size (bytes) below which the
+// partial-match alternative is not even evaluated.
+const minPartialConsideration = 4096
+
+// owningPeer picks the peer fragment contributing the largest missing
+// block part, as the representative source of the bulk transfer.
+func owningPeer(frag *fragment.Fragmentation, u workUnit, w int) int {
+	// The exact source split does not change totals; attribute to the
+	// fragment owning the first candidate not local to w, else worker 0.
+	for _, c := range u.Candidates {
+		if o := frag.OwnerOf(c); o != w {
+			return o
+		}
+	}
+	if w == 0 && frag.N > 1 {
+		return 1
+	}
+	if w != 0 {
+		return 0
+	}
+	return 0
+}

@@ -1,0 +1,231 @@
+package validate
+
+import (
+	"time"
+
+	"gfd/internal/cluster"
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/match"
+	"gfd/internal/reason"
+	"gfd/internal/workload"
+)
+
+// Options configures the parallel validation engines. The zero value is
+// completed by normalize(): 4 workers, LPT/bi-criteria assignment, all
+// optimizations on.
+type Options struct {
+	// N is the number of workers (processors).
+	N int
+	// RandomAssign replaces the LPT / bi-criteria assignment with uniform
+	// random placement: the repran / disran variants.
+	RandomAssign bool
+	// NoOptimize disables the Appendix optimizations (multi-query pattern
+	// grouping, symmetric work-unit deduplication, implication-based
+	// workload reduction, replicate-and-split, and disVal's partial-match
+	// shipping): the repnop / disnop variants.
+	NoOptimize bool
+	// NoReduce keeps implied rules even when optimizing; workload
+	// reduction costs an implication test per rule, which the ablation
+	// benchmarks isolate.
+	NoReduce bool
+	// HistogramM is the predefined number m of equi-depth ranges per pivot
+	// candidate list used to spread estimation work (Section 6.1).
+	// Defaults to 16; it is deliberately independent of N so the number of
+	// estimation messages stays constant as workers are added.
+	HistogramM int
+	// SplitThreshold is θ of the replicate-and-split strategy: work units
+	// whose data block exceeds θ are split into stripes. 0 derives a
+	// default from the workload (4× the mean block size); negative
+	// disables splitting.
+	SplitThreshold int
+	// ArbitraryPivot replaces min-radius pivot selection with the first
+	// variable of each component (ablation).
+	ArbitraryPivot bool
+	// Seed drives the random assignment variant.
+	Seed int64
+	// Cost prices simulated communication.
+	Cost cluster.CostModel
+}
+
+func (o Options) normalize() Options {
+	if o.N < 1 {
+		o.N = 4
+	}
+	if o.HistogramM <= 0 {
+		o.HistogramM = 16
+	}
+	if o.Cost == (cluster.CostModel{}) {
+		o.Cost = cluster.DefaultCostModel()
+	}
+	return o
+}
+
+// Result carries the violation set plus the instrumentation the
+// experiments report.
+type Result struct {
+	Violations Report
+
+	Rules  int // rules validated (after any reduction)
+	Groups int // rule groups after multi-query combining
+	Units  int // work units generated (after dedup/splitting)
+
+	Wall         time.Duration // end-to-end wall-clock time on this host
+	EstimateWall time.Duration // workload estimation phase (wall)
+	DetectWall   time.Duration // local detection phase (wall)
+	EstimateSpan time.Duration // modeled estimation span: max worker busy time
+	DetectSpan   time.Duration // modeled detection span: max worker busy time
+	Comm         time.Duration // modeled communication time
+	BytesShipped int64         // total simulated data shipment
+	Messages     int64
+
+	Makespan    int64 // heaviest worker load (weight units)
+	TotalWeight int64 // Σ unit weights ≈ sequential cost t(|Σ|,|G|)
+
+	PrefetchUnits int // disVal: units evaluated by block prefetching
+	PartialUnits  int // disVal: units evaluated by partial-match shipping
+	SplitUnits    int // units produced by replicate-and-split
+}
+
+// TotalTime is wall time plus modeled communication time.
+func (r *Result) TotalTime() time.Duration { return r.Wall + r.Comm }
+
+// ModeledTime is the simulated n-worker parallel time the paper's figures
+// plot: the maximum per-worker busy time of each phase (workers are
+// logical; compute is measured per worker and phases overlap only within
+// a worker) plus the modeled communication time. On a host with fewer
+// cores than n this is the faithful scaling metric — wall time cannot
+// drop below (total work / physical cores) regardless of n.
+func (r *Result) ModeledTime() time.Duration {
+	return r.EstimateSpan + r.DetectSpan + r.Comm
+}
+
+// workUnit is a work unit bound to its rule group and optional stripe.
+type workUnit struct {
+	workload.Unit
+	group      int
+	stripeMod  int // 0 = unstriped
+	stripeRem  int
+	shipBytes  []int64 // disVal: bytes to ship if assigned to worker i
+	totalBytes int64   // disVal: full block bytes
+}
+
+// detectUnit enumerates the matches of the unit's group pattern inside the
+// unit's data block, with the pivots pinned to the unit's candidates, and
+// checks every group dependency on each match. For symmetric two-component
+// patterns whose mirrored units were deduplicated, both pin orders are
+// enumerated so the full match set is preserved.
+func detectUnit(g *graph.Graph, grp *ruleGroup, u workUnit, deduped bool, out *Report) {
+	block := u.Block(g)
+	runPins := func(c0, c1 graph.NodeID, both bool) {
+		pin := make(map[int]graph.NodeID, len(u.Candidates))
+		if both {
+			pin[grp.pivot.Vars[0]] = c0
+			pin[grp.pivot.Vars[1]] = c1
+		} else {
+			for i, v := range grp.pivot.Vars {
+				pin[v] = u.Candidates[i]
+			}
+		}
+		opts := match.Options{
+			Block:      block,
+			Pin:        pin,
+			StripeMod:  u.stripeMod,
+			StripeRem:  u.stripeRem,
+			StripeNode: stripeNode(grp, u),
+		}
+		match.Enumerate(g, grp.q, opts, func(m core.Match) bool {
+			grp.checkMatch(g, m, out)
+			return true
+		})
+	}
+	if deduped && grp.pivot.Symmetric() && len(u.Candidates) == 2 {
+		runPins(u.Candidates[0], u.Candidates[1], true)
+		runPins(u.Candidates[1], u.Candidates[0], true)
+		return
+	}
+	runPins(0, 0, false)
+}
+
+// stripeNode picks the pattern node the stripe constraint applies to: the
+// first node that is not a pivot. Returns -1 (striping disabled upstream)
+// when every node is pinned.
+func stripeNode(grp *ruleGroup, u workUnit) int {
+	if u.stripeMod == 0 {
+		return -1
+	}
+	pinned := make(map[int]bool, len(grp.pivot.Vars))
+	for _, v := range grp.pivot.Vars {
+		pinned[v] = true
+	}
+	for i := 0; i < grp.q.NumNodes(); i++ {
+		if !pinned[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// splittable reports whether the group pattern has an unpinned node to
+// stripe on.
+func splittable(grp *ruleGroup) bool {
+	return grp.q.NumNodes() > len(grp.pivot.Vars)
+}
+
+// maybeReduce applies implication-based workload reduction when enabled.
+func maybeReduce(set *core.Set, opt Options) *core.Set {
+	if opt.NoOptimize || opt.NoReduce || set.Len() <= 1 {
+		return set
+	}
+	return reason.Reduce(set)
+}
+
+// splitThreshold resolves the effective θ given the generated units.
+func splitThreshold(opt Options, units []workUnit) int {
+	if opt.NoOptimize || opt.SplitThreshold < 0 || len(units) == 0 {
+		return 0 // disabled
+	}
+	if opt.SplitThreshold > 0 {
+		return opt.SplitThreshold
+	}
+	var total int64
+	for _, u := range units {
+		total += int64(u.BlockSize)
+	}
+	return int(4 * total / int64(len(units)))
+}
+
+// applySplit replaces oversized units with stripes (replicate-and-split,
+// Appendix): each stripe keeps the pivots and data block but enumerates
+// only matches whose stripe-node image falls in its residue class, so the
+// stripes' match sets partition the original unit's.
+func applySplit(units []workUnit, groups []*ruleGroup, theta int) (out []workUnit, split int) {
+	if theta <= 0 {
+		return units, 0
+	}
+	out = make([]workUnit, 0, len(units))
+	for _, u := range units {
+		grp := groups[u.group]
+		if u.BlockSize <= theta || !splittable(grp) {
+			out = append(out, u)
+			continue
+		}
+		s := (u.BlockSize + theta - 1) / theta
+		if s < 2 {
+			out = append(out, u)
+			continue
+		}
+		for rem := 0; rem < s; rem++ {
+			su := u
+			su.stripeMod = s
+			su.stripeRem = rem
+			su.BlockSize = u.BlockSize / s
+			if su.BlockSize == 0 {
+				su.BlockSize = 1
+			}
+			out = append(out, su)
+			split++
+		}
+	}
+	return out, split
+}

@@ -1,0 +1,163 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gfd/internal/core"
+	"gfd/internal/fragment"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// randomWorkload builds a small random graph plus a random rule, both
+// derived deterministically from a seed — the generator for the
+// end-to-end equivalence properties.
+func randomWorkload(seed int64) (*graph.Graph, *core.Set) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c"}
+	edgeLabels := []string{"e", "f"}
+	attrs := []string{"p", "q"}
+
+	n := 8 + rng.Intn(16)
+	g := graph.New(n, 0)
+	for i := 0; i < n; i++ {
+		am := graph.Attrs{}
+		for _, a := range attrs {
+			if rng.Intn(3) > 0 { // attributes may be missing
+				am[a] = fmt.Sprintf("v%d", rng.Intn(3))
+			}
+		}
+		g.AddNode(labels[rng.Intn(len(labels))], am)
+	}
+	nEdges := n + rng.Intn(2*n)
+	for e := 0; e < nEdges; e++ {
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		if from != to {
+			g.MustAddEdge(from, to, edgeLabels[rng.Intn(len(edgeLabels))])
+		}
+	}
+
+	// Random pattern: 2-4 nodes, chain plus a random extra edge; possibly
+	// a second single-node component.
+	q := pattern.New()
+	pn := 2 + rng.Intn(3)
+	for i := 0; i < pn; i++ {
+		q.AddNode(pattern.Var(fmt.Sprintf("v%d", i)), labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < pn; i++ {
+		q.AddEdge(i-1, i, edgeLabels[rng.Intn(len(edgeLabels))])
+	}
+	if rng.Intn(2) == 0 && pn > 2 {
+		q.AddEdge(0, pn-1, edgeLabels[rng.Intn(len(edgeLabels))])
+	}
+	if rng.Intn(3) == 0 {
+		q.AddNode(pattern.Var("iso"), labels[rng.Intn(len(labels))])
+	}
+
+	randLit := func() core.Literal {
+		vars := q.Vars()
+		x := vars[rng.Intn(len(vars))]
+		if rng.Intn(2) == 0 {
+			return core.Const(x, attrs[rng.Intn(len(attrs))], fmt.Sprintf("v%d", rng.Intn(3)))
+		}
+		y := vars[rng.Intn(len(vars))]
+		return core.VarEq(x, attrs[rng.Intn(len(attrs))], y, attrs[rng.Intn(len(attrs))])
+	}
+	var x, y []core.Literal
+	for i := 0; i < rng.Intn(2); i++ {
+		x = append(x, randLit())
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		y = append(y, randLit())
+	}
+	return g, core.MustNewSet(core.MustNew("r", q, x, y))
+}
+
+// TestPropertyEnginesEquivalent is the central end-to-end property: on
+// arbitrary graphs and rules, repVal and disVal (all variants) compute
+// exactly detVio's violation set.
+func TestPropertyEnginesEquivalent(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := int64(seedRaw)
+		g, set := randomWorkload(seed)
+		want := DetVio(g, set)
+		for _, opt := range []Options{
+			{N: 1, NoReduce: true},
+			{N: 3, NoReduce: true},
+			{N: 3, RandomAssign: true, Seed: seed, NoReduce: true},
+			{N: 3, NoOptimize: true},
+			{N: 3, SplitThreshold: 4, NoReduce: true},
+		} {
+			if !RepVal(g, set, opt).Violations.Equal(want) {
+				t.Logf("seed %d: repVal(%+v) diverged", seed, opt)
+				return false
+			}
+			frag := fragment.Partition(g, opt.N, fragment.Hash)
+			if !DisVal(g, frag, set, opt).Violations.Equal(want) {
+				t.Logf("seed %d: disVal(%+v) diverged", seed, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNormalizePreservesSemantics: a match violates ϕ iff it
+// violates some rule of ϕ's normal form.
+func TestPropertyNormalizePreservesSemantics(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		g, set := randomWorkload(int64(seedRaw))
+		ruleOrig := set.Rules()[0]
+		norm := ruleOrig.Normalize()
+		normSet := core.MustNewSet(norm...)
+		want := DetVio(g, set)
+		got := DetVio(g, normSet)
+		// Entities flagged must coincide (multiple normalized rules may
+		// flag the same match, so counts differ but entity sets must not).
+		wantNodes, gotNodes := want.ViolatingNodes(), got.ViolatingNodes()
+		if wantNodes.Len() != gotNodes.Len() {
+			return false
+		}
+		for v := range wantNodes {
+			if !gotNodes.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySatisfiesIffNoViolations: Satisfies(g, Σ) == (Vio = ∅).
+func TestPropertySatisfiesIffNoViolations(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		g, set := randomWorkload(int64(seedRaw))
+		return Satisfies(g, set) == (len(DetVio(g, set)) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFragmentationInvariant: the violation set is independent of
+// how the graph is fragmented.
+func TestPropertyFragmentationInvariant(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		g, set := randomWorkload(int64(seedRaw))
+		a := DisVal(g, fragment.Partition(g, 2, fragment.Hash), set, Options{N: 2, NoReduce: true})
+		b := DisVal(g, fragment.Partition(g, 5, fragment.Range), set, Options{N: 5, NoReduce: true})
+		return a.Violations.Equal(b.Violations)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package validate
+
+import (
+	"time"
+
+	"gfd/internal/cluster"
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/stats"
+	"gfd/internal/workload"
+)
+
+// RepVal is the parallel scalable error-detection algorithm for replicated
+// graphs (Fig. 4 / Theorem 10). The graph is available at every worker, so
+// no block data is ever shipped; the engine balances the estimated
+// workload W(Σ, G) across workers with the LPT greedy 2-approximation and
+// runs local detection in parallel.
+//
+// Variants: Options.RandomAssign yields repran, Options.NoOptimize yields
+// repnop.
+func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
+	opt = opt.normalize()
+	start := time.Now()
+	cl := cluster.New(opt.N, opt.Cost)
+	res := &Result{}
+
+	set = maybeReduce(set, opt)
+	res.Rules = set.Len()
+	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
+	res.Groups = len(groups)
+
+	// ---- bPar: parallel workload estimation --------------------------
+	estStart := time.Now()
+	units, estSpan := estimateUnits(g, cl, groups, opt)
+	res.EstimateSpan = estSpan
+	theta := splitThreshold(opt, units)
+	var split int
+	units, split = applySplit(units, groups, theta)
+	res.SplitUnits = split
+	res.Units = len(units)
+	res.EstimateWall = time.Since(estStart)
+
+	// ---- bPar: balanced n-partition ----------------------------------
+	weights := make([]int, len(units))
+	for i, u := range units {
+		weights[i] = u.Weight()
+		res.TotalWeight += int64(u.Weight())
+	}
+	var assign workload.Assignment
+	if opt.RandomAssign {
+		assign = workload.BalanceRandom(weights, opt.N, opt.Seed)
+	} else {
+		assign = workload.BalanceLPT(weights, opt.N)
+	}
+	res.Makespan = assign.Makespan(weights)
+	// Shipping W_i(Σ, G) to each worker: one compact descriptor per unit.
+	for w, idxs := range assign {
+		cl.Ship(cluster.Coordinator, w, int64(len(idxs))*unitDescriptorBytes)
+	}
+	cl.EndRound()
+
+	// ---- localVio: parallel local detection --------------------------
+	detStart := time.Now()
+	perWorker := make([]Report, opt.N)
+	busy := cl.RunMeasured(func(w int) {
+		var out Report
+		for _, ui := range assign[w] {
+			u := units[ui]
+			detectUnit(g, groups[u.group], u, !opt.NoOptimize, &out)
+		}
+		perWorker[w] = out
+	})
+	res.DetectWall = time.Since(detStart)
+	res.DetectSpan = cluster.MaxSpan(busy)
+
+	// ---- union at the coordinator -------------------------------------
+	for w, out := range perWorker {
+		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
+		res.Violations = append(res.Violations, out...)
+	}
+	cl.EndRound()
+	res.Violations.Sort()
+
+	st := cl.Stats()
+	res.BytesShipped = st.TotalBytes
+	res.Messages = st.TotalMsgs
+	res.Comm = cl.CommTime()
+	res.Wall = time.Since(start)
+	return res
+}
+
+const (
+	unitDescriptorBytes = 16 // ⟨v̄_z, |G_z̄|⟩ on the wire
+	candidateInfoBytes  = 16 // candidate + block-part size
+	violationBytes      = 48 // rule name tag + match vector
+)
+
+// estimateUnits runs the parallel workload-estimation phase shared by
+// repVal and disVal: pivot candidate lists are split into equi-depth
+// ranges, range combinations are distributed round-robin to workers, each
+// worker measures its candidates' c-hop block sizes and reports compact
+// unit descriptors to the coordinator. The returned span is the modeled
+// parallel duration of the phase (max worker busy time).
+func estimateUnits(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
+	type task struct {
+		group  int
+		ranges []stats.Range // one per component
+	}
+	var tasks []task
+	cands := make([][][]graph.NodeID, len(groups)) // group -> component -> sorted candidates
+	for gi, grp := range groups {
+		k := grp.pivot.Arity()
+		cands[gi] = make([][]graph.NodeID, k)
+		ranges := make([][]stats.Range, k)
+		for i := 0; i < k; i++ {
+			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.Candidates(g, i), "val", opt.HistogramM)
+			cands[gi][i] = sorted
+			ranges[i] = rs
+		}
+		// Cross-product of per-component ranges; for symmetric deduped
+		// patterns only ordered range pairs are kept (Example 10).
+		symmetric := !opt.NoOptimize && grp.pivot.Symmetric() && k == 2
+		switch k {
+		case 1:
+			for _, r := range ranges[0] {
+				tasks = append(tasks, task{group: gi, ranges: []stats.Range{r}})
+			}
+		case 2:
+			for i, r1 := range ranges[0] {
+				for j, r2 := range ranges[1] {
+					if symmetric && j < i {
+						continue
+					}
+					tasks = append(tasks, task{group: gi, ranges: []stats.Range{r1, r2}})
+				}
+			}
+		default:
+			// k > 2 is rare; a single task covers the full cross product.
+			full := make([]stats.Range, k)
+			for i := range full {
+				full[i] = stats.Range{Lo: 0, Hi: len(cands[gi][i])}
+			}
+			tasks = append(tasks, task{group: gi, ranges: full})
+		}
+	}
+
+	// Phase A: measure every needed c-hop block size exactly once, the
+	// candidate set split contiguously across workers (each candidate is
+	// owned by one worker, so no neighborhood is measured twice).
+	sizeOf, sizeSpan := measureSizes(g, cl, groups, cands, opt.N)
+
+	// Phase B: workers assemble the unit descriptors for their range
+	// combinations from the precomputed sizes.
+	perWorker := make([][]workUnit, opt.N)
+	busy := cl.RunMeasured(func(w int) {
+		var mine []workUnit
+		for ti := w; ti < len(tasks); ti += opt.N {
+			t := tasks[ti]
+			grp := groups[t.group]
+			slice := make([][]graph.NodeID, len(t.ranges))
+			for i, r := range t.ranges {
+				slice[i] = cands[t.group][i][r.Lo:r.Hi]
+			}
+			symmetric := !opt.NoOptimize && grp.pivot.Symmetric()
+			// Within the diagonal range pair the ordered-pair rule applies;
+			// BuildUnitsSized handles it via DedupSymmetric. Off-diagonal
+			// pairs are disjoint, so the flag only prunes the diagonal.
+			dedup := symmetric && len(t.ranges) == 2 && t.ranges[0] == t.ranges[1]
+			us := workload.BuildUnitsSized(grp.pivot, slice, sizeOf, workload.BuildOptions{DedupSymmetric: dedup})
+			for _, u := range us {
+				mine = append(mine, workUnit{Unit: u, group: t.group})
+			}
+		}
+		perWorker[w] = mine
+		// Report ⟨v̄_z, |G_z̄|⟩ descriptors to the coordinator (one batched
+		// message per worker).
+		cl.Ship(w, cluster.Coordinator, int64(len(mine))*unitDescriptorBytes)
+	})
+	cl.EndRound()
+
+	var units []workUnit
+	for _, mine := range perWorker {
+		units = append(units, mine...)
+	}
+	return units, sizeSpan + cluster.MaxSpan(busy)
+}
+
+// measureSizes computes |G_z̄[z]| for every (candidate, radius) pair any
+// group needs, in parallel with each pair assigned to exactly one worker.
+// It returns a read-only lookup plus the phase's modeled span.
+func measureSizes(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
+	type req struct {
+		node   graph.NodeID
+		radius int
+	}
+	seen := make(map[req]struct{})
+	var reqs []req
+	for gi, grp := range groups {
+		for i := 0; i < grp.pivot.Arity(); i++ {
+			r := grp.pivot.Radii[i]
+			for _, v := range cands[gi][i] {
+				k := req{v, r}
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					reqs = append(reqs, k)
+				}
+			}
+		}
+	}
+	partial := make([]map[req]int, n)
+	busy := cl.RunMeasured(func(w int) {
+		mine := make(map[req]int)
+		for i := w; i < len(reqs); i += n {
+			mine[reqs[i]] = g.NeighborhoodSize(reqs[i].node, reqs[i].radius)
+		}
+		partial[w] = mine
+	})
+	sizes := make(map[req]int, len(reqs))
+	for _, m := range partial {
+		for k, v := range m {
+			sizes[k] = v
+		}
+	}
+	return func(v graph.NodeID, c int) int { return sizes[req{v, c}] }, cluster.MaxSpan(busy)
+}

@@ -1,0 +1,67 @@
+package validate
+
+import (
+	"context"
+	"errors"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/match"
+)
+
+// ErrTimeout is returned by DetVioCtx when the context expires before the
+// enumeration finishes — the fate of the sequential algorithm on the
+// paper's large graphs (Exp-1: detVio does not terminate within 6000s).
+var ErrTimeout = errors.New("validate: sequential detection timed out")
+
+// DetVio is the sequential error-detection algorithm of Section 5.1: for
+// every rule it enumerates all matches of the pattern in g and collects
+// those violating X → Y. It is the correctness reference for the parallel
+// engines, and exponential in the worst case.
+func DetVio(g *graph.Graph, set *core.Set) Report {
+	r, _ := DetVioCtx(context.Background(), g, set)
+	return r
+}
+
+// DetVioCtx is DetVio with cooperative cancellation, checked between
+// matches.
+func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, error) {
+	var out Report
+	for _, f := range set.Rules() {
+		var err error
+		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {
+			if ctx.Err() != nil {
+				err = ErrTimeout
+				return false
+			}
+			if f.IsViolation(g, m) {
+				out = append(out, Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
+			}
+			return true
+		})
+		if err != nil {
+			return out, err
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// Satisfies reports G |= Σ, i.e. whether the violation set is empty — the
+// validation problem of Proposition 9.
+func Satisfies(g *graph.Graph, set *core.Set) bool {
+	for _, f := range set.Rules() {
+		violated := false
+		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {
+			if f.IsViolation(g, m) {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			return false
+		}
+	}
+	return true
+}

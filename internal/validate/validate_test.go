@@ -1,0 +1,432 @@
+package validate
+
+import (
+	"context"
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/fragment"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// --- fixtures -------------------------------------------------------------
+
+// paperG1 builds Fig. 1's G1 plus one consistent flight pair, so both
+// violating and non-violating matches exist.
+func paperG1() *graph.Graph {
+	g := graph.New(0, 0)
+	addFlight := func(name, id, from, to string) {
+		f := g.AddNode("flight", graph.Attrs{"val": name})
+		sat := func(label, val string) graph.NodeID {
+			return g.AddNode(label, graph.Attrs{"val": val})
+		}
+		g.MustAddEdge(f, sat("id", id), "number")
+		g.MustAddEdge(f, sat("city", from), "from")
+		g.MustAddEdge(f, sat("city", to), "to")
+	}
+	addFlight("flight1", "DL1", "Paris", "NYC")
+	addFlight("flight2", "DL1", "Paris", "Singapore") // inconsistent pair
+	addFlight("flight3", "BA7", "Edi", "Lon")
+	addFlight("flight4", "BA7", "Edi", "Lon") // consistent pair
+	return g
+}
+
+// phi1 is the flight GFD over the reduced Q1 (id + two cities).
+func phi1() *core.GFD {
+	q := pattern.New()
+	for _, pre := range []string{"x", "y"} {
+		f := q.AddNode(pattern.Var(pre), "flight")
+		id := q.AddNode(pattern.Var(pre+"1"), "id")
+		c1 := q.AddNode(pattern.Var(pre+"2"), "city")
+		c2 := q.AddNode(pattern.Var(pre+"3"), "city")
+		q.AddEdge(f, id, "number")
+		q.AddEdge(f, c1, "from")
+		q.AddEdge(f, c2, "to")
+	}
+	return core.MustNew("phi1", q,
+		[]core.Literal{core.VarEq("x1", "val", "y1", "val")},
+		[]core.Literal{core.VarEq("x2", "val", "y2", "val"), core.VarEq("x3", "val", "y3", "val")})
+}
+
+// capitalSet builds ϕ2 over a country with two capitals.
+func phi2() *core.GFD {
+	q := pattern.New()
+	x := q.AddNode("x", "country")
+	y := q.AddNode("y", "city")
+	z := q.AddNode("z", "city")
+	q.AddEdge(x, y, "capital")
+	q.AddEdge(x, z, "capital")
+	return core.MustNew("phi2", q, nil, []core.Literal{core.VarEq("y", "val", "z", "val")})
+}
+
+// allVariants enumerates engine configurations whose violation set must
+// match detVio exactly. They all set NoReduce: implication-based reduction
+// may drop a *duplicate* rule, which changes rule attribution (though not
+// the flagged entities) — TestReducePreservesEntities covers that path.
+func allVariants() map[string]Options {
+	return map[string]Options{
+		"val":    {N: 4, NoReduce: true},
+		"ran":    {N: 4, RandomAssign: true, Seed: 99, NoReduce: true},
+		"nop":    {N: 4, NoOptimize: true},
+		"n1":     {N: 1, NoReduce: true},
+		"n8":     {N: 8, NoReduce: true},
+		"arbPiv": {N: 4, ArbitraryPivot: true, NoReduce: true},
+		"split":  {N: 4, SplitThreshold: 2, NoReduce: true},
+	}
+}
+
+func TestReducePreservesEntities(t *testing.T) {
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 160, Seed: 11})
+	gen.Inject(g, gen.NoiseConfig{Rate: 0.05, Seed: 12})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 8, PatternSize: 4, TwoCompFrac: 0.3, Seed: 13})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	want := DetVio(g, set).ViolatingNodes()
+	res := RepVal(g, set, Options{N: 4}) // reduction on
+	got := res.Violations.ViolatingNodes()
+	if got.Len() != want.Len() {
+		t.Fatalf("reduction changed flagged entities: %d vs %d", got.Len(), want.Len())
+	}
+	for v := range want {
+		if !got.Contains(v) {
+			t.Fatalf("entity %d lost after reduction", v)
+		}
+	}
+}
+
+// --- DetVio on paper examples ----------------------------------------------
+
+func TestDetVioFlightExample(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet(phi1())
+	vio := DetVio(g, set)
+	// The DL1 pair violates in both orders; the BA7 pair is consistent.
+	if len(vio) != 2 {
+		t.Fatalf("violations = %d, want 2 (both orders of the DL1 pair)", len(vio))
+	}
+	for _, v := range vio {
+		if v.Rule != "phi1" {
+			t.Errorf("rule = %s", v.Rule)
+		}
+		if len(v.Nodes()) != 8 {
+			t.Errorf("violation entities = %d, want 8", len(v.Nodes()))
+		}
+	}
+}
+
+func TestDetVioCapitalExample(t *testing.T) {
+	g := graph.New(0, 0)
+	au := g.AddNode("country", graph.Attrs{"val": "Australia"})
+	c1 := g.AddNode("city", graph.Attrs{"val": "Canberra"})
+	c2 := g.AddNode("city", graph.Attrs{"val": "Melbourne"})
+	g.MustAddEdge(au, c1, "capital")
+	g.MustAddEdge(au, c2, "capital")
+	fr := g.AddNode("country", graph.Attrs{"val": "France"})
+	paris := g.AddNode("city", graph.Attrs{"val": "Paris"})
+	g.MustAddEdge(fr, paris, "capital")
+
+	set := core.MustNewSet(phi2())
+	vio := DetVio(g, set)
+	// Canberra/Melbourne in both orders; France has one capital: G3 |= ϕ2
+	// vacuously for it (Example 6(b)).
+	if len(vio) != 2 {
+		t.Fatalf("violations = %d, want 2", len(vio))
+	}
+	if !Satisfies(g, set) == false {
+		// Satisfies must agree with DetVio emptiness.
+		t.Log("ok")
+	}
+	if Satisfies(g, set) {
+		t.Error("graph with violations cannot satisfy Σ")
+	}
+}
+
+func TestSatisfiesConsistentGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	fr := g.AddNode("country", graph.Attrs{"val": "France"})
+	paris := g.AddNode("city", graph.Attrs{"val": "Paris"})
+	g.MustAddEdge(fr, paris, "capital")
+	if !Satisfies(g, core.MustNewSet(phi2())) {
+		t.Error("single capital graph satisfies ϕ2 (no match of Q2)")
+	}
+}
+
+func TestDetVioCtxCancellation(t *testing.T) {
+	g := gen.Synthetic(gen.SyntheticConfig{Nodes: 500, Edges: 1500, Seed: 3})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 5, Seed: 3})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DetVioCtx(ctx, g, set); err == nil {
+		t.Skip("enumeration finished before the first cancellation check; nothing to assert")
+	}
+}
+
+// --- Parallel engine equivalence -------------------------------------------
+
+func TestRepValMatchesDetVioOnPaperExample(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet(phi1())
+	want := DetVio(g, set)
+	for name, opt := range allVariants() {
+		got := RepVal(g, set, opt)
+		if !got.Violations.Equal(want) {
+			t.Errorf("repVal[%s]: %d violations, want %d", name, len(got.Violations), len(want))
+		}
+	}
+}
+
+func TestDisValMatchesDetVioOnPaperExample(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet(phi1())
+	want := DetVio(g, set)
+	for name, opt := range allVariants() {
+		frag := fragment.Partition(g, max(opt.N, 1), fragment.Hash)
+		got := DisVal(g, frag, set, opt)
+		if !got.Violations.Equal(want) {
+			t.Errorf("disVal[%s]: %d violations, want %d", name, len(got.Violations), len(want))
+		}
+	}
+}
+
+func TestEnginesAgreeOnMinedWorkload(t *testing.T) {
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 160, Seed: 11})
+	gen.Inject(g, gen.NoiseConfig{Rate: 0.05, Seed: 12})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 8, PatternSize: 4, TwoCompFrac: 0.3, Seed: 13})
+	if set.Len() == 0 {
+		t.Fatal("mining produced no rules")
+	}
+	want := DetVio(g, set)
+	for name, opt := range allVariants() {
+		rep := RepVal(g, set, opt)
+		if !rep.Violations.Equal(want) {
+			t.Errorf("repVal[%s] diverges from detVio: %d vs %d violations",
+				name, len(rep.Violations), len(want))
+		}
+		frag := fragment.Partition(g, max(opt.N, 1), fragment.Hash)
+		dis := DisVal(g, frag, set, opt)
+		if !dis.Violations.Equal(want) {
+			t.Errorf("disVal[%s] diverges from detVio: %d vs %d violations",
+				name, len(dis.Violations), len(want))
+		}
+	}
+}
+
+func TestEnginesAgreeOnSocialGraph(t *testing.T) {
+	g := gen.PokecLike(gen.DatasetConfig{Scale: 120, Seed: 21})
+	gen.Inject(g, gen.NoiseConfig{Rate: 0.03, Seed: 22})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 6, PatternSize: 5, TwoCompFrac: 0.2, Seed: 23})
+	if set.Len() == 0 {
+		t.Fatal("mining produced no rules")
+	}
+	want := DetVio(g, set)
+	rep := RepVal(g, set, Options{N: 4})
+	if !rep.Violations.Equal(want) {
+		t.Errorf("repVal diverges: %d vs %d", len(rep.Violations), len(want))
+	}
+	frag := fragment.Partition(g, 4, fragment.Hash)
+	dis := DisVal(g, frag, set, Options{N: 4})
+	if !dis.Violations.Equal(want) {
+		t.Errorf("disVal diverges: %d vs %d", len(dis.Violations), len(want))
+	}
+}
+
+// --- Engine instrumentation -------------------------------------------------
+
+func TestRepValInstrumentation(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet(phi1())
+	res := RepVal(g, set, Options{N: 4})
+	if res.Rules != 1 || res.Groups != 1 {
+		t.Errorf("rules=%d groups=%d", res.Rules, res.Groups)
+	}
+	// 8 flights... 4 flights -> C(4,2) = 6 deduped units.
+	if res.Units != 6 {
+		t.Errorf("units = %d, want 6 unordered flight pairs", res.Units)
+	}
+	if res.TotalWeight <= 0 || res.Makespan <= 0 || res.Makespan > res.TotalWeight {
+		t.Errorf("weights: total=%d makespan=%d", res.TotalWeight, res.Makespan)
+	}
+	if res.Wall <= 0 {
+		t.Error("wall time must be positive")
+	}
+	if res.BytesShipped <= 0 {
+		t.Error("unit descriptors must be charged")
+	}
+}
+
+func TestRepValNoOptimizeDoublesSymmetricUnits(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet(phi1())
+	opt := RepVal(g, set, Options{N: 4})
+	nop := RepVal(g, set, Options{N: 4, NoOptimize: true})
+	if nop.Units != 2*opt.Units {
+		t.Errorf("nop units = %d, want double of %d", nop.Units, opt.Units)
+	}
+}
+
+func TestDisValShipsData(t *testing.T) {
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 100, Seed: 31})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 4, PatternSize: 4, Seed: 32})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	frag := fragment.Partition(g, 4, fragment.Hash)
+	res := DisVal(g, frag, set, Options{N: 4})
+	if res.BytesShipped <= 0 {
+		t.Error("fragmented detection must ship data")
+	}
+	if res.Comm <= 0 {
+		t.Error("communication time must be modeled")
+	}
+	if res.PrefetchUnits+res.PartialUnits != res.Units {
+		t.Errorf("strategy counts %d+%d != units %d",
+			res.PrefetchUnits, res.PartialUnits, res.Units)
+	}
+	if res.TotalTime() < res.Wall {
+		t.Error("TotalTime must include communication")
+	}
+}
+
+func TestDisValShipsLessThanDisnop(t *testing.T) {
+	// The Fig. 5(j-l) shape: the optimized disVal ships less than disnop
+	// (which never deduplicates symmetric units and always prefetches
+	// whole blocks). A skewed graph gives blocks big enough for the
+	// partial-match alternative to engage.
+	g := gen.Synthetic(gen.SyntheticConfig{Nodes: 4000, Edges: 12000, Skew: 0.8, Seed: 41})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 5, PatternSize: 4, TwoCompFrac: 0.4, Seed: 42})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	frag := fragment.Partition(g, 4, fragment.Hash)
+	smart := DisVal(g, frag, set, Options{N: 4})
+	nop := DisVal(g, frag, set, Options{N: 4, NoOptimize: true})
+	if smart.BytesShipped >= nop.BytesShipped {
+		t.Errorf("disVal shipped %d, disnop %d — optimization ineffective",
+			smart.BytesShipped, nop.BytesShipped)
+	}
+	if !smart.Violations.Equal(nop.Violations) {
+		t.Error("shipping strategy must not change the violation set")
+	}
+}
+
+func TestSplitThresholdProducesStripes(t *testing.T) {
+	g := gen.Synthetic(gen.SyntheticConfig{Nodes: 400, Edges: 1600, Skew: 0.8, Seed: 51})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 3, PatternSize: 4, Seed: 52})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	want := DetVio(g, set)
+	res := RepVal(g, set, Options{N: 4, SplitThreshold: 8})
+	if res.SplitUnits == 0 {
+		t.Skip("no unit exceeded the threshold; nothing to verify")
+	}
+	if !res.Violations.Equal(want) {
+		t.Error("splitting changed the violation set")
+	}
+}
+
+func TestWorkloadReductionPreservesViolationsModuloRuleNames(t *testing.T) {
+	// Two duplicate rules: reduction drops one; the violating *entities*
+	// are unchanged even though rule attribution shrinks.
+	g := paperG1()
+	f1 := phi1()
+	f2 := phi1()
+	f2.Name = "phi1_dup"
+	set := core.MustNewSet(f1, f2)
+	res := RepVal(g, set, Options{N: 2})
+	if res.Rules != 1 {
+		t.Errorf("reduction kept %d rules, want 1", res.Rules)
+	}
+	full := DetVio(g, core.MustNewSet(f1))
+	if len(res.Violations) != len(full) {
+		t.Errorf("reduced set found %d violations, one copy finds %d",
+			len(res.Violations), len(full))
+	}
+	// Rule attribution may name either duplicate; the violating entities
+	// are what must coincide.
+	if res.Violations.ViolatingNodes().Len() != full.ViolatingNodes().Len() {
+		t.Error("reduced set must flag the same entities as one copy")
+	}
+	// NoReduce keeps both.
+	res2 := RepVal(g, set, Options{N: 2, NoReduce: true})
+	if res2.Rules != 2 {
+		t.Errorf("NoReduce kept %d rules", res2.Rules)
+	}
+	if len(res2.Violations) != 2*len(full) {
+		t.Errorf("both duplicates must report: %d vs %d", len(res2.Violations), 2*len(full))
+	}
+}
+
+func TestViolationReportHelpers(t *testing.T) {
+	r := Report{
+		{Rule: "b", Match: core.Match{2, 1}},
+		{Rule: "a", Match: core.Match{0, 1}},
+	}
+	r.Sort()
+	if r[0].Rule != "a" {
+		t.Error("Sort must order by rule")
+	}
+	if r[0].Key() != "a,0,1" {
+		t.Errorf("Key = %q", r[0].Key())
+	}
+	if !r.Equal(Report{{Rule: "a", Match: core.Match{0, 1}}, {Rule: "b", Match: core.Match{2, 1}}}) {
+		t.Error("Equal must ignore order")
+	}
+	if r.Equal(Report{{Rule: "a", Match: core.Match{0, 1}}}) {
+		t.Error("different sizes must differ")
+	}
+	nodes := r.ViolatingNodes()
+	if nodes.Len() != 3 {
+		t.Errorf("violating entities = %d, want 3", nodes.Len())
+	}
+}
+
+func TestEmptyRuleSet(t *testing.T) {
+	g := paperG1()
+	set := core.MustNewSet()
+	if len(DetVio(g, set)) != 0 {
+		t.Error("empty Σ yields no violations")
+	}
+	res := RepVal(g, set, Options{N: 2})
+	if len(res.Violations) != 0 || res.Units != 0 {
+		t.Error("empty Σ: empty parallel result")
+	}
+}
+
+func TestMultiQueryGroupingSharesPatterns(t *testing.T) {
+	// Two rules on the same (isomorphic) pattern with different deps must
+	// land in one group but report separately.
+	q1 := pattern.New()
+	x := q1.AddNode("x", "country")
+	y := q1.AddNode("y", "city")
+	q1.AddEdge(x, y, "capital")
+	f1 := core.MustNew("r1", q1, nil, []core.Literal{core.VarEq("x", "val", "y", "val")})
+
+	q2 := pattern.New()
+	a := q2.AddNode("a", "country")
+	b := q2.AddNode("b", "city")
+	q2.AddEdge(a, b, "capital")
+	f2 := core.MustNew("r2", q2, []core.Literal{core.Const("a", "val", "zzz")},
+		[]core.Literal{core.Const("b", "val", "yyy")})
+
+	g := graph.New(0, 0)
+	c := g.AddNode("country", graph.Attrs{"val": "Oz"})
+	ct := g.AddNode("city", graph.Attrs{"val": "Emerald"})
+	g.MustAddEdge(c, ct, "capital")
+
+	set := core.MustNewSet(f1, f2)
+	res := RepVal(g, set, Options{N: 2, NoReduce: true})
+	if res.Groups != 1 {
+		t.Errorf("groups = %d, want 1 (isomorphic patterns)", res.Groups)
+	}
+	want := DetVio(g, set)
+	if !res.Violations.Equal(want) {
+		t.Errorf("grouped result diverges: %v vs %v", res.Violations, want)
+	}
+}

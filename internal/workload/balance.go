@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Assignment maps each worker index to the indices of the units assigned
+// to it.
+type Assignment [][]int
+
+// Makespan returns the maximum total weight across workers, the quantity
+// the load-balancing problem minimizes.
+func (a Assignment) Makespan(weights []int) int64 {
+	var worst int64
+	for _, units := range a {
+		var load int64
+		for _, u := range units {
+			load += int64(weights[u])
+		}
+		if load > worst {
+			worst = load
+		}
+	}
+	return worst
+}
+
+// BalanceLPT computes a balanced n-partition with the classic
+// longest-processing-time greedy rule: sort units by descending weight and
+// repeatedly give the heaviest remaining unit to the least-loaded worker.
+// This is the 2-approximation of Proposition 12 (4/3-approximate in fact,
+// via Graham's bound); it runs in O(|W| log |W| + |W| log n).
+func BalanceLPT(weights []int, n int) Assignment {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return assignGreedy(order, weights, n, nil, 0)
+}
+
+// BalanceRandom assigns units to workers uniformly at random; the repran /
+// disran baseline variants of Section 7 use it in place of LPT.
+func BalanceRandom(weights []int, n int, seed int64) Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Assignment, n)
+	for i := range weights {
+		w := rng.Intn(n)
+		out[w] = append(out[w], i)
+	}
+	return out
+}
+
+// CommCoster reports, for a unit and a worker, the bytes that must be
+// shipped to that worker if the unit is assigned there (zero when the
+// unit's whole data block is already local).
+type CommCoster func(unit, worker int) int64
+
+// BalanceBiCriteria computes the bi-criteria assignment of Section 6.2:
+// weights are balanced LPT-style while each placement decision is charged
+// its communication cost, scaled by commWeight (c_s in the paper's cost
+// model). Following the generalized-assignment strategy of Shmoys–Tardos
+// as adapted by the paper, the greedy rule places the heaviest unit on the
+// worker minimizing load + commWeight·CC(w, i).
+func BalanceBiCriteria(weights []int, n int, cc CommCoster, commWeight float64) Assignment {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return assignGreedy(order, weights, n, cc, commWeight)
+}
+
+func assignGreedy(order, weights []int, n int, cc CommCoster, commWeight float64) Assignment {
+	out := make(Assignment, n)
+	loads := make([]float64, n)
+	for _, u := range order {
+		best, bestCost := 0, 0.0
+		for w := 0; w < n; w++ {
+			cost := loads[w] + float64(weights[u])
+			if cc != nil {
+				cost += commWeight * float64(cc(u, w))
+			}
+			if w == 0 || cost < bestCost {
+				best, bestCost = w, cost
+			}
+		}
+		out[best] = append(out[best], u)
+		loads[best] += float64(weights[u])
+		if cc != nil {
+			loads[best] += commWeight * float64(cc(u, best))
+		}
+	}
+	return out
+}
