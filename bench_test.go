@@ -310,10 +310,20 @@ func BenchmarkSubgraphIsoStar(b *testing.B) {
 	from := q.AddNode("c", "city")
 	q.AddEdge(f, id, "number")
 	q.AddEdge(f, from, "from")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		match.Count(g, q, match.Options{})
-	}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.Count(g, q, match.Options{})
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		m := match.NewMatcher(g.Freeze())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Count(q, match.Options{})
+		}
+	})
 }
 
 func BenchmarkNeighborhood2Hop(b *testing.B) {

@@ -7,15 +7,22 @@
 //	gfdbench -exp fig5a          # time vs n on the DBpedia stand-in
 //	gfdbench -exp fig9 -scale 400
 //	gfdbench -exp all -scale 200 # quick full sweep
+//	gfdbench -exp fig6 -json     # also write BENCH_fig6.json
+//
+// With -json, every experiment additionally writes a machine-readable
+// BENCH_<exp>.json file (config + result rows) so perf trajectories can be
+// tracked across commits.
 //
 // See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gfd/internal/exp"
 )
@@ -28,6 +35,7 @@ func main() {
 		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
 		seed    = flag.Int64("seed", 42, "deterministic seed")
 		twoFrac = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
+		jsonOut = flag.Bool("json", false, "write BENCH_<exp>.json result files")
 	)
 	flag.Parse()
 
@@ -38,56 +46,78 @@ func main() {
 		}
 	}
 
-	run := map[string]func(){
-		"fig5a": func() { fmt.Println(exp.Fig5VaryN(base("dbpedia"), nil)) },
-		"fig5b": func() { fmt.Println(exp.Fig5VaryN(base("yago2"), nil)) },
-		"fig5c": func() { fmt.Println(exp.Fig5VaryN(base("pokec"), nil)) },
-		"fig5sigma": func() {
+	// Each experiment prints its paper-style rendering and returns the raw
+	// result for the optional JSON emission.
+	run := map[string]func() any{
+		"fig5a": func() any { t := exp.Fig5VaryN(base("dbpedia"), nil); fmt.Println(t); return t },
+		"fig5b": func() any { t := exp.Fig5VaryN(base("yago2"), nil); fmt.Println(t); return t },
+		"fig5c": func() any { t := exp.Fig5VaryN(base("pokec"), nil); fmt.Println(t); return t },
+		"fig5sigma": func() any {
+			var ts []exp.Table
 			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
-				fmt.Println(exp.Fig5VarySigma(base(ds), nil))
+				t := exp.Fig5VarySigma(base(ds), nil)
+				fmt.Println(t)
+				ts = append(ts, t)
 			}
+			return ts
 		},
-		"fig5q": func() {
+		"fig5q": func() any {
+			var ts []exp.Table
 			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
-				fmt.Println(exp.Fig5VaryQ(base(ds), nil))
+				t := exp.Fig5VaryQ(base(ds), nil)
+				fmt.Println(t)
+				ts = append(ts, t)
 			}
+			return ts
 		},
-		"fig5comm": func() {
+		"fig5comm": func() any {
+			var ts []exp.Table
 			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
-				fmt.Println(exp.Fig5Comm(base(ds), nil))
+				t := exp.Fig5Comm(base(ds), nil)
+				fmt.Println(t)
+				ts = append(ts, t)
 			}
+			return ts
 		},
-		"fig6": func() {
+		"fig6": func() any {
 			c := base("synthetic")
 			c.Scale = *scale / 2
-			fmt.Println(exp.Fig6ScaleG(c, nil))
+			t := exp.Fig6ScaleG(c, nil)
+			fmt.Println(t)
+			return t
 		},
-		"fig7": func() {
+		"fig7": func() any {
 			fmt.Println("Fig 7 — real-life GFDs on the YAGO2 stand-in")
 			fmt.Printf("%-28s%10s%12s%8s\n", "rule", "injected", "violations", "caught")
-			for _, f := range exp.Fig7RealLife(*scale, 5, *seed) {
+			findings := exp.Fig7RealLife(*scale, 5, *seed)
+			for _, f := range findings {
 				fmt.Printf("%-28s%10d%12d%8d\n", f.Rule, f.Injected, f.Violations, f.Caught)
 			}
 			fmt.Println()
+			return findings
 		},
-		"fig8": func() { fmt.Println(exp.Fig8Skew(base("synthetic"), nil)) },
-		"fig9": func() {
+		"fig8": func() any { t := exp.Fig8Skew(base("synthetic"), nil); fmt.Println(t); return t },
+		"fig9": func() any {
 			c := base("yago2")
 			c.TwoCompFrac = 0.5
 			c.Rules = max(*rules, 12)
 			c.NoiseRate = 0.05
 			fmt.Println("Fig 9 — accuracy and time vs baselines (YAGO2 stand-in)")
 			fmt.Printf("%-12s%8s%8s%8s%12s\n", "model", "recall", "prec.", "rules", "time")
-			for _, r := range exp.Fig9Accuracy(c) {
+			rows := exp.Fig9Accuracy(c)
+			for _, r := range rows {
 				fmt.Printf("%-12s%8.2f%8.2f%8d%12v\n", r.Model, r.Recall, r.Precision, r.Rules, r.Time.Round(0))
 			}
 			fmt.Println()
+			return rows
 		},
-		"speedup": func() {
+		"speedup": func() any {
 			fmt.Println("Exp-1 — parallel speedup n=4 -> n=20")
+			out := map[string]map[string]float64{}
 			for _, ds := range []string{"dbpedia", "yago2", "pokec"} {
 				t := exp.Fig5VaryN(base(ds), []int{4, 20})
 				s := exp.SpeedupSummary(t)
+				out[ds] = s
 				fmt.Printf("%-10s", ds)
 				for _, alg := range exp.SixAlgorithms {
 					fmt.Printf("  %s=%.2fx", alg, s[alg])
@@ -95,6 +125,7 @@ func main() {
 				fmt.Println()
 			}
 			fmt.Println()
+			return out
 		},
 	}
 
@@ -109,6 +140,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gfdbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		f()
+		result := f()
+		if *jsonOut {
+			if err := writeJSON(name, *scale, *rules, *qsize, *seed, result); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// benchFile is the schema of a BENCH_<exp>.json emission.
+type benchFile struct {
+	Experiment string `json:"experiment"`
+	Timestamp  string `json:"timestamp"`
+	Scale      int    `json:"scale"`
+	Rules      int    `json:"rules"`
+	PatternQ   int    `json:"pattern_q"`
+	Seed       int64  `json:"seed"`
+	Result     any    `json:"result"`
+}
+
+func writeJSON(name string, scale, rules, qsize int, seed int64, result any) error {
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	data, err := json.MarshalIndent(benchFile{
+		Experiment: name,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      scale,
+		Rules:      rules,
+		PatternQ:   qsize,
+		Seed:       seed,
+		Result:     result,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -7,7 +7,9 @@
 // X → Y whose literals are x.A = c (constant, as in CFDs) or x.A = y.B
 // (variable, as in FDs). The package provides:
 //
-//   - the property-graph model and a text format (NewGraph, ReadGraph);
+//   - the property-graph model and a text format (NewGraph, ReadGraph),
+//     plus the compiled execution view Graph.Freeze -> Snapshot that the
+//     matching and validation hot paths run against;
 //   - pattern construction and the GFD rule language (NewPattern, NewGFD,
 //     ParseRules);
 //   - the classical static analyses: Satisfiable and Implies, plus the
@@ -49,6 +51,11 @@ type (
 	Edge = graph.Edge
 	// NodeSet is a set of nodes (data blocks, violation entities).
 	NodeSet = graph.NodeSet
+	// Snapshot is the compiled, immutable CSR view of a Graph produced by
+	// Graph.Freeze: interned labels, flat sorted adjacency, per-label
+	// candidate ranges. Matching and validation hot paths run against it;
+	// mutate the Graph, then Freeze again for a fresh view.
+	Snapshot = graph.Snapshot
 
 	// Pattern is a graph pattern Q[x̄].
 	Pattern = pattern.Pattern

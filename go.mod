@@ -1,0 +1,3 @@
+module gfd
+
+go 1.24

@@ -129,11 +129,12 @@ func isSimplePath(q *pattern.Pattern) bool {
 // the GFD engine so accuracy is directly comparable.
 func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 	var out validate.Report
+	m := match.NewMatcher(g.Freeze())
 	for _, c := range rules {
 		f := core.MustNew(c.Name, c.Path, c.X, c.Y)
-		match.Enumerate(g, c.Path, match.Options{}, func(m core.Match) bool {
-			if f.IsViolation(g, m) {
-				out = append(out, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), m...)})
+		m.Enumerate(c.Path, match.Options{}, func(h core.Match) bool {
+			if f.IsViolation(g, h) {
+				out = append(out, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)})
 			}
 			return true
 		})

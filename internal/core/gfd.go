@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"gfd/internal/graph"
 	"gfd/internal/pattern"
@@ -70,6 +71,13 @@ type GFD struct {
 	Q    *pattern.Pattern
 	X    []Literal // antecedent; empty means "always applies"
 	Y    []Literal // consequent; empty means trivially satisfied
+
+	// Literal variables resolved to pattern node indices, bound once on
+	// first evaluation (IsViolation runs per match on the engines' hot
+	// path; re-hashing variable names there would dominate). Do not mutate
+	// Q, X, or Y after a GFD has been evaluated.
+	bindOnce sync.Once
+	xb, yb   []boundLiteral
 }
 
 // New constructs a GFD and validates that every literal variable occurs in
@@ -204,19 +212,53 @@ func writeLits(b *strings.Builder, ls []Literal) {
 // Match[i] is the graph node matched by pattern node i.
 type Match []graph.NodeID
 
-// evalLiteral evaluates a single literal on a match. ok is false when a
-// referenced attribute is missing; eq is meaningful only when ok.
-func evalLiteral(g *graph.Graph, q *pattern.Pattern, h Match, l Literal) (eq, ok bool) {
-	xi, _ := q.VarIndex(l.X)
-	xv, xok := g.Attr(h[xi], l.A)
+// boundLiteral is a Literal with its variables resolved to pattern node
+// indices, so per-match evaluation skips the VarIndex map lookups.
+type boundLiteral struct {
+	xi   int
+	a    string
+	kind LiteralKind
+	c    string
+	yi   int
+	b    string
+}
+
+func bindLiterals(q *pattern.Pattern, ls []Literal) []boundLiteral {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]boundLiteral, len(ls))
+	for i, l := range ls {
+		b := boundLiteral{a: l.A, kind: l.Kind, c: l.C, b: l.B}
+		b.xi, _ = q.VarIndex(l.X)
+		if l.Kind == Variable {
+			b.yi, _ = q.VarIndex(l.Y)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// bind resolves X and Y once per rule; safe under concurrent evaluation
+// (workers share rule pointers).
+func (f *GFD) bind() {
+	f.bindOnce.Do(func() {
+		f.xb = bindLiterals(f.Q, f.X)
+		f.yb = bindLiterals(f.Q, f.Y)
+	})
+}
+
+// evalLiteral evaluates a single bound literal on a match. ok is false when
+// a referenced attribute is missing; eq is meaningful only when ok.
+func evalLiteral(g *graph.Graph, h Match, l boundLiteral) (eq, ok bool) {
+	xv, xok := g.Attr(h[l.xi], l.a)
 	if !xok {
 		return false, false
 	}
-	if l.Kind == Constant {
-		return xv == l.C, true
+	if l.kind == Constant {
+		return xv == l.c, true
 	}
-	yi, _ := q.VarIndex(l.Y)
-	yv, yok := g.Attr(h[yi], l.B)
+	yv, yok := g.Attr(h[l.yi], l.b)
 	if !yok {
 		return false, false
 	}
@@ -228,8 +270,9 @@ func evalLiteral(g *graph.Graph, q *pattern.Pattern, h Match, l Literal) (eq, ok
 // hence the GFD trivially satisfied for this match) — this accommodates the
 // semi-structured nature of graphs.
 func (f *GFD) SatisfiesX(g *graph.Graph, h Match) bool {
-	for _, l := range f.X {
-		eq, ok := evalLiteral(g, f.Q, h, l)
+	f.bind()
+	for _, l := range f.xb {
+		eq, ok := evalLiteral(g, h, l)
 		if !ok || !eq {
 			return false
 		}
@@ -240,8 +283,9 @@ func (f *GFD) SatisfiesX(g *graph.Graph, h Match) bool {
 // SatisfiesY reports h(x̄) |= Y. In contrast to X, a literal in Y requires
 // the attribute to exist: a missing attribute is a violation.
 func (f *GFD) SatisfiesY(g *graph.Graph, h Match) bool {
-	for _, l := range f.Y {
-		eq, ok := evalLiteral(g, f.Q, h, l)
+	f.bind()
+	for _, l := range f.yb {
+		eq, ok := evalLiteral(g, h, l)
 		if !ok || !eq {
 			return false
 		}

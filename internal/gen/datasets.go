@@ -266,8 +266,14 @@ func PokecLike(cfg DatasetConfig) *graph.Graph {
 	}
 	for _, a := range accounts {
 		nLikes := 1 + rng.Intn(6)
+		liked := make(map[int]bool, nLikes)
 		for l := 0; l < nLikes; l++ {
-			g.MustAddEdge(a, blogs[rng.Intn(nBlogs)], "like")
+			// Dedup repeated draws: the graph type documents that no
+			// generator emits duplicate (from, to, label) triples.
+			if b := rng.Intn(nBlogs); !liked[b] {
+				liked[b] = true
+				g.MustAddEdge(a, blogs[b], "like")
+			}
 		}
 		if rng.Intn(2) == 0 {
 			g.MustAddEdge(a, accounts[rng.Intn(len(accounts))], "follows")

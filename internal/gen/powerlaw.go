@@ -77,12 +77,21 @@ func Synthetic(cfg SyntheticConfig) *graph.Graph {
 		}
 		return graph.NodeID(rng.Intn(cfg.Nodes))
 	}
+	seen := make(map[graph.Edge]bool, cfg.Edges)
 	for e := 0; e < cfg.Edges; e++ {
 		from, to := pick(), pick()
 		if from == to {
 			to = graph.NodeID((int(to) + 1) % cfg.Nodes)
 		}
-		g.MustAddEdge(from, to, fmt.Sprintf("e%d", rng.Intn(cfg.Labels)))
+		// Skip duplicate draws (the graph type documents that generators
+		// never emit duplicate (from, to, label) triples); the RNG stream
+		// is consumed either way so existing seeds keep their shape.
+		edge := graph.Edge{From: from, To: to, Label: fmt.Sprintf("e%d", rng.Intn(cfg.Labels))}
+		if seen[edge] {
+			continue
+		}
+		seen[edge] = true
+		g.MustAddEdge(edge.From, edge.To, edge.Label)
 		endpoints = append(endpoints, from, to)
 	}
 	return g

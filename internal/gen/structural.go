@@ -39,6 +39,12 @@ func InjectStructural(g *graph.Graph, perKind int, seed int64) StructuralErrors 
 		if x == y {
 			continue
 		}
+		// The pair may already be linked (real family edges, or an earlier
+		// iteration drawing it again); skip rather than emit duplicate
+		// (from, to, label) triples, which the graph type forbids.
+		if g.HasEdge(x, y, "has_child") || g.HasEdge(x, y, "has_parent") {
+			continue
+		}
 		g.MustAddEdge(x, y, "has_child")
 		g.MustAddEdge(x, y, "has_parent")
 		out.ChildParentCycles = append(out.ChildParentCycles, x)

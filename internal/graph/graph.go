@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node within a Graph. IDs are dense: a graph with n
@@ -47,9 +48,17 @@ type Graph struct {
 	in      [][]HalfEdge
 	byLabel map[string][]NodeID
 	edges   int
+	degHint int // initial adjacency capacity derived from New's edge hint
+
+	version     uint64     // bumped on every mutation; invalidates the snapshot
+	snapMu      sync.Mutex // serializes Freeze's cache check-and-fill
+	snap        *Snapshot
+	snapVersion uint64
 }
 
-// New returns an empty graph with capacity hints for nodes and edges.
+// New returns an empty graph with capacity hints for nodes and edges. The
+// edge hint presizes per-node adjacency storage (expected average degree),
+// avoiding append-growth churn while generators bulk-load edges.
 func New(nodeHint, edgeHint int) *Graph {
 	g := &Graph{
 		labels:  make([]string, 0, nodeHint),
@@ -58,7 +67,9 @@ func New(nodeHint, edgeHint int) *Graph {
 		in:      make([][]HalfEdge, 0, nodeHint),
 		byLabel: make(map[string][]NodeID),
 	}
-	_ = edgeHint
+	if nodeHint > 0 && edgeHint > nodeHint {
+		g.degHint = min(edgeHint/nodeHint, 16)
+	}
 	return g
 }
 
@@ -75,6 +86,7 @@ func (g *Graph) AddNode(label string, attrs Attrs) NodeID {
 		g.byLabel = make(map[string][]NodeID)
 	}
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.version++
 	return id
 }
 
@@ -85,9 +97,18 @@ func (g *Graph) AddEdge(from, to NodeID, label string) error {
 	if !g.Has(from) || !g.Has(to) {
 		return fmt.Errorf("graph: edge (%d)-[%s]->(%d) references missing node", from, label, to)
 	}
+	if g.degHint > 0 {
+		if g.out[from] == nil {
+			g.out[from] = make([]HalfEdge, 0, g.degHint)
+		}
+		if g.in[to] == nil {
+			g.in[to] = make([]HalfEdge, 0, g.degHint)
+		}
+	}
 	g.out[from] = append(g.out[from], HalfEdge{To: to, Label: label})
 	g.in[to] = append(g.in[to], HalfEdge{To: from, Label: label})
 	g.edges++
+	g.version++
 	return nil
 }
 
@@ -139,6 +160,7 @@ func (g *Graph) SetAttr(id NodeID, a, v string) {
 		g.attrs[id] = make(Attrs, 1)
 	}
 	g.attrs[id][a] = v
+	g.version++
 }
 
 // Relabel changes the label of node id, maintaining the label index. Used
@@ -160,6 +182,7 @@ func (g *Graph) Relabel(id NodeID, label string) {
 	}
 	g.labels[id] = label
 	g.byLabel[label] = insertSorted(g.byLabel[label], id)
+	g.version++
 }
 
 // insertSorted keeps label class slices in ascending NodeID order so that
@@ -266,6 +289,7 @@ func (g *Graph) Clone() *Graph {
 		in:      make([][]HalfEdge, len(g.in)),
 		byLabel: make(map[string][]NodeID, len(g.byLabel)),
 		edges:   g.edges,
+		degHint: g.degHint,
 	}
 	for i, a := range g.attrs {
 		if a != nil {

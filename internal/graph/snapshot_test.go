@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(t *testing.T, seed int64, nodes, edges int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c", "_"}
+	elabels := []string{"e", "f", "g"}
+	g := New(nodes, edges)
+	for i := 0; i < nodes; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))], Attrs{"val": string(rune('a' + rng.Intn(5)))})
+	}
+	for i := 0; i < edges; i++ {
+		g.MustAddEdge(NodeID(rng.Intn(nodes)), NodeID(rng.Intn(nodes)), elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+// TestSnapshotMirrorsGraph cross-checks every snapshot accessor against the
+// mutable graph it was frozen from.
+func TestSnapshotMirrorsGraph(t *testing.T) {
+	g := randomGraph(t, 7, 60, 220)
+	s := g.Freeze()
+
+	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: snapshot (%d,%d) vs graph (%d,%d)",
+			s.NumNodes(), s.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if s.LabelName(id) != g.Label(id) {
+			t.Fatalf("node %d: label %q vs %q", v, s.LabelName(id), g.Label(id))
+		}
+		if s.OutDegree(id) != g.OutDegree(id) || s.InDegree(id) != g.InDegree(id) {
+			t.Fatalf("node %d: degree mismatch", v)
+		}
+		if v2, ok := s.Attr(id, "val"); !ok {
+			t.Fatalf("node %d: missing val attr in snapshot", v)
+		} else if want, _ := g.Attr(id, "val"); v2 != want {
+			t.Fatalf("node %d: attr %q vs %q", v, v2, want)
+		}
+	}
+	// Every graph edge must be findable in the snapshot, concrete and
+	// wildcard, and the CSR ranges must be (Label, To)-sorted.
+	g.Edges(func(e Edge) bool {
+		l := s.Syms().Lookup(e.Label)
+		if !s.HasEdge(e.From, e.To, l) {
+			t.Fatalf("edge %v missing from snapshot", e)
+		}
+		if !s.HasEdge(e.From, e.To, WildcardSym) {
+			t.Fatalf("edge %v not found via wildcard", e)
+		}
+		return true
+	})
+	for v := 0; v < g.NumNodes(); v++ {
+		es := s.Out(NodeID(v))
+		for i := 1; i < len(es); i++ {
+			if es[i].Label < es[i-1].Label ||
+				(es[i].Label == es[i-1].Label && es[i].To < es[i-1].To) {
+				t.Fatalf("node %d: out-adjacency not sorted at %d", v, i)
+			}
+		}
+	}
+	// Absent edges must stay absent.
+	if s.HasEdge(0, 1, s.Syms().Lookup("e")) != g.HasEdge(0, 1, "e") {
+		t.Fatal("HasEdge(0,1,e) disagrees with graph")
+	}
+	if s.HasEdge(0, 1, NoSym) {
+		t.Fatal("NoSym label must match no edge")
+	}
+	// Label classes must equal the graph's label index.
+	for _, l := range g.Labels() {
+		want := g.NodesWithLabel(l)
+		got := s.NodesWithLabel(l)
+		if len(want) != len(got) {
+			t.Fatalf("label %q: class size %d vs %d", l, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("label %q: class differs at %d", l, i)
+			}
+		}
+		if s.ClassSize(s.Syms().Lookup(l)) != g.LabelCount(l) {
+			t.Fatalf("label %q: ClassSize mismatch", l)
+		}
+	}
+	if s.NodesWithLabel("nope") != nil {
+		t.Fatal("unknown label must have an empty class")
+	}
+}
+
+// TestSnapshotNeighborhood checks the CSR BFS against the map-based one.
+func TestSnapshotNeighborhood(t *testing.T) {
+	g := randomGraph(t, 13, 80, 200)
+	s := g.Freeze()
+	for v := 0; v < g.NumNodes(); v += 7 {
+		for c := 0; c <= 3; c++ {
+			want := g.Neighborhood(NodeID(v), c)
+			got := s.Neighborhood(NodeID(v), c)
+			if len(want) != len(got) {
+				t.Fatalf("node %d c=%d: %d vs %d nodes", v, c, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("node %d c=%d: differs at %d", v, c, i)
+				}
+			}
+			if ws, gs := g.NeighborhoodSize(NodeID(v), c), s.NeighborhoodSize(NodeID(v), c); ws != gs {
+				t.Fatalf("node %d c=%d: size %d vs %d", v, c, gs, ws)
+			}
+		}
+	}
+}
+
+// TestFreezeCache verifies snapshots are cached until the next mutation.
+func TestFreezeCache(t *testing.T) {
+	g := randomGraph(t, 3, 10, 20)
+	s1 := g.Freeze()
+	if g.Freeze() != s1 {
+		t.Fatal("Freeze rebuilt despite no mutation")
+	}
+	g.SetAttr(0, "val", "changed")
+	s2 := g.Freeze()
+	if s2 == s1 {
+		t.Fatal("Freeze returned a stale snapshot after SetAttr")
+	}
+	if v, _ := s2.Attr(0, "val"); v != "changed" {
+		t.Fatalf("refrozen snapshot sees %q, want %q", v, "changed")
+	}
+	g.AddNode("z", nil)
+	if g.Freeze() == s2 {
+		t.Fatal("Freeze returned a stale snapshot after AddNode")
+	}
+	g.MustAddEdge(0, 1, "new")
+	s3 := g.Freeze()
+	if !s3.HasEdge(0, 1, s3.Syms().Lookup("new")) {
+		t.Fatal("refrozen snapshot misses the new edge")
+	}
+	g.Relabel(0, "w")
+	if g.Freeze() == s3 {
+		t.Fatal("Freeze returned a stale snapshot after Relabel")
+	}
+	// Clones must not share the cache.
+	c := g.Clone()
+	if c.Freeze() == g.Freeze() {
+		t.Fatal("clone shares its parent's snapshot")
+	}
+}
+
+// TestNewEdgeHint covers the previously-discarded edge capacity hint.
+func TestNewEdgeHint(t *testing.T) {
+	g := New(4, 40)
+	for i := 0; i < 4; i++ {
+		g.AddNode("n", nil)
+	}
+	g.MustAddEdge(0, 1, "e")
+	if c := cap(g.out[0]); c < 10 {
+		t.Fatalf("out adjacency capacity %d; want >= 10 (edgeHint/nodeHint)", c)
+	}
+	if c := cap(g.in[1]); c < 10 {
+		t.Fatalf("in adjacency capacity %d; want >= 10", c)
+	}
+	// Degenerate hints must not presize (or crash).
+	g2 := New(0, 0)
+	g2.AddNode("n", nil)
+	g2.AddNode("n", nil)
+	g2.MustAddEdge(0, 1, "e")
+	if g2.NumEdges() != 1 {
+		t.Fatal("zero-hint graph broken")
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+// Sym is a dense interned code for a node label, edge label, or attribute
+// name. Snapshots compare labels as Sym equality instead of string
+// comparison in the matching inner loop; see Symbols.
+type Sym int32
+
+const (
+	// WildcardSym is the interned code of the pattern wildcard label "_"
+	// (pattern.Wildcard; the literal is repeated here because package
+	// pattern depends on this package). Every Symbols table interns it at
+	// construction so the wildcard check compiles to `sym == 0`.
+	WildcardSym Sym = 0
+
+	// NoSym marks a name that is absent from a Symbols table. Compiled
+	// patterns use it for labels the frozen graph never mentions: NoSym
+	// equals no concrete code and is not the wildcard, so it matches
+	// nothing.
+	NoSym Sym = -1
+)
+
+// Symbols is an interning table mapping names (node labels, edge labels,
+// attribute names — one shared namespace) to dense Sym codes. A Snapshot
+// owns one; package pattern compiles patterns against it so pattern/graph
+// label comparison is integer equality, including the wildcard check.
+//
+// Intern mutates the table and must not be called concurrently; Lookup and
+// Name are read-only and safe to share across goroutines once the table is
+// fully built (the freeze-then-match lifecycle guarantees this).
+type Symbols struct {
+	codes map[string]Sym
+	names []string
+}
+
+// NewSymbols returns a table with the wildcard pre-interned as WildcardSym.
+func NewSymbols() *Symbols {
+	s := &Symbols{codes: make(map[string]Sym, 16)}
+	s.Intern("_")
+	return s
+}
+
+// Intern returns the code of name, assigning the next dense code if the
+// name is new.
+func (s *Symbols) Intern(name string) Sym {
+	if c, ok := s.codes[name]; ok {
+		return c
+	}
+	c := Sym(len(s.names))
+	s.codes[name] = c
+	s.names = append(s.names, name)
+	return c
+}
+
+// Lookup returns the code of name without interning; NoSym if absent.
+func (s *Symbols) Lookup(name string) Sym {
+	if c, ok := s.codes[name]; ok {
+		return c
+	}
+	return NoSym
+}
+
+// Name returns the string a code was interned from.
+func (s *Symbols) Name(c Sym) string { return s.names[c] }
+
+// Len returns the number of interned names.
+func (s *Symbols) Len() int { return len(s.names) }

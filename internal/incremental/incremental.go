@@ -14,6 +14,12 @@
 // Supported updates are node insertion, edge insertion, and attribute
 // assignment (the insert-only + attribute-update model; deletions would
 // require adjacency removal the graph type deliberately does not expose).
+//
+// Unlike the batch engines, the detector matches against the mutable
+// *graph.Graph directly rather than a frozen Snapshot: it interleaves
+// mutation with small localized re-validations, so re-freezing the whole
+// graph per update batch would cost more than the slice-backed matching it
+// replaces. Sharing snapshots incrementally is an open item in ROADMAP.md.
 package incremental
 
 import (

@@ -1,0 +1,88 @@
+// Allocation-tracked benchmarks for the two enumeration paths. Run with
+//
+//	go test ./internal/match -bench=BenchmarkEnumerate -benchmem
+//
+// The snapshot sub-benchmarks must report 0 allocs/op (steady state);
+// TestMatcherZeroAllocSteadyState asserts it.
+package match_test
+
+import (
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/gen"
+	"gfd/internal/match"
+	"gfd/internal/pattern"
+)
+
+func starPattern() *pattern.Pattern {
+	q := pattern.New()
+	f := q.AddNode("f", "flight")
+	id := q.AddNode("i", "id")
+	from := q.AddNode("c", "city")
+	q.AddEdge(f, id, "number")
+	q.AddEdge(f, from, "from")
+	return q
+}
+
+func trianglePattern() *pattern.Pattern {
+	q := pattern.New()
+	a := q.AddNode("a", "person")
+	b := q.AddNode("b", "person")
+	c := q.AddNode("c", "person")
+	q.AddEdge(a, b, "knows")
+	q.AddEdge(b, c, "knows")
+	q.AddEdge(a, c, "knows")
+	return q
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	gStar := gen.YAGO2Like(gen.DatasetConfig{Scale: 400, Seed: 1})
+	qStar := starPattern()
+	gTri := gen.PokecLike(gen.DatasetConfig{Scale: 300, Seed: 2})
+	qTri := trianglePattern()
+
+	yield := func(core.Match) bool { return true }
+
+	b.Run("star/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.Enumerate(gStar, qStar, match.Options{}, yield)
+		}
+	})
+	b.Run("star/snapshot", func(b *testing.B) {
+		m := match.NewMatcher(gStar.Freeze())
+		m.Enumerate(qStar, match.Options{}, yield) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Enumerate(qStar, match.Options{}, yield)
+		}
+	})
+	b.Run("triangle/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.Enumerate(gTri, qTri, match.Options{}, yield)
+		}
+	})
+	b.Run("triangle/snapshot", func(b *testing.B) {
+		m := match.NewMatcher(gTri.Freeze())
+		m.Enumerate(qTri, match.Options{}, yield) // warm-up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Enumerate(qTri, match.Options{}, yield)
+		}
+	})
+}
+
+// BenchmarkFreeze prices the snapshot build itself, so callers can judge
+// the freeze-then-match break-even point.
+func BenchmarkFreeze(b *testing.B) {
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 400, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.SetAttr(0, "val", "poke") // invalidate the cache: measure a real rebuild
+		_ = g.Freeze()
+	}
+}

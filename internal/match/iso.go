@@ -10,6 +10,15 @@
 // pattern nodes to designated graph nodes (pivot candidates of work units)
 // and restricting matches to a data block (locality of subgraph
 // isomorphism, Section 5.2).
+//
+// Two execution paths produce the same match set:
+//
+//   - Enumerate/Count/Has/All walk the mutable *graph.Graph directly. This
+//     is the portable reference path, kept for callers that interleave
+//     matching with mutation (incremental maintenance, targeted noise).
+//   - Matcher (matcher.go) runs against a frozen *graph.Snapshot — interned
+//     labels, CSR adjacency, zero steady-state allocations — and is what
+//     the validation engines use. Build graphs, g.Freeze(), then match.
 package match
 
 import (

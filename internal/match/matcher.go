@@ -1,0 +1,338 @@
+package match
+
+import (
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// Matcher is the compiled-representation enumerator: it runs the same
+// backtracking search as Enumerate, but against a frozen *graph.Snapshot —
+// interned integer labels, CSR adjacency sorted by (label, neighbor), a
+// flat []bool used-set, and contiguous per-label candidate ranges. After
+// warm-up (first call per pattern shape) an enumeration performs zero
+// steady-state allocations: candidates are iterated directly off snapshot
+// ranges, never materialized.
+//
+// A Matcher is NOT safe for concurrent use — it owns reusable search
+// buffers. Engines create one Matcher per worker; all of them share one
+// Snapshot, which is read-only.
+//
+// Candidate generation prefers the smallest label-filtered adjacency range
+// among already-matched pattern neighbors (set intersection driven by the
+// most selective sorted range, remaining constraints checked by binary
+// search), falling back to the pattern node's label class.
+type Matcher struct {
+	snap     *graph.Snapshot
+	compiled map[*pattern.Pattern]*pattern.Compiled
+
+	// Reusable search state.
+	used   []bool     // graph-node used-set, sized |V|
+	assign core.Match // pattern node -> graph node
+	order  []int      // matching order
+	placed []bool     // planOrder scratch
+
+	// Per-call state.
+	q     *pattern.Pattern
+	cq    *pattern.Compiled
+	opts  Options
+	yield func(core.Match) bool
+	n     int
+	found int
+	halt  bool
+}
+
+// NewMatcher returns a matcher over snap.
+func NewMatcher(snap *graph.Snapshot) *Matcher {
+	return &Matcher{
+		snap:     snap,
+		compiled: make(map[*pattern.Pattern]*pattern.Compiled),
+		used:     make([]bool, snap.NumNodes()),
+	}
+}
+
+// Snapshot returns the frozen graph this matcher runs against.
+func (m *Matcher) Snapshot() *graph.Snapshot { return m.snap }
+
+// Enumerate calls yield for every match of q in the snapshot under opts, in
+// a deterministic order (ascending within each candidate range). The match
+// set is exactly Enumerate's on the unfrozen graph; only the order may
+// differ. (One carve-out: if a graph violates the documented no-duplicate-
+// edge invariant, the legacy path can yield the same match once per
+// parallel (from, to, label) duplicate; this path always yields it once.)
+// The Match slice passed to yield is reused across calls; callers that
+// retain it must copy it.
+func (m *Matcher) Enumerate(q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
+	n := q.NumNodes()
+	if n == 0 {
+		return
+	}
+	m.q, m.cq = q, m.compiledFor(q)
+	m.opts, m.yield = opts, yield
+	m.n, m.found, m.halt = n, 0, false
+	m.ensure(n)
+	m.planOrder()
+	m.extend(0)
+	m.yield = nil
+}
+
+// Count returns the number of matches of q under opts.
+func (m *Matcher) Count(q *pattern.Pattern, opts Options) int {
+	n := 0
+	m.Enumerate(q, opts, func(core.Match) bool {
+		n++
+		return opts.Limit == 0 || n < opts.Limit
+	})
+	return n
+}
+
+// Has reports whether q has at least one match under opts.
+func (m *Matcher) Has(q *pattern.Pattern, opts Options) bool {
+	found := false
+	m.Enumerate(q, opts, func(core.Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// All returns every match (copied) of q under opts.
+func (m *Matcher) All(q *pattern.Pattern, opts Options) []core.Match {
+	var out []core.Match
+	m.Enumerate(q, opts, func(h core.Match) bool {
+		out = append(out, append(core.Match(nil), h...))
+		return true
+	})
+	return out
+}
+
+// compiledFor lowers q onto the snapshot's symbol table, memoized per
+// pattern pointer (rule groups and rule sets reuse pattern values, so the
+// steady state is a map hit).
+func (m *Matcher) compiledFor(q *pattern.Pattern) *pattern.Compiled {
+	if cq, ok := m.compiled[q]; ok {
+		return cq
+	}
+	cq := pattern.Compile(q, m.snap.Syms())
+	m.compiled[q] = cq
+	return cq
+}
+
+// ensure sizes the reusable buffers for an n-node pattern.
+func (m *Matcher) ensure(n int) {
+	if cap(m.assign) < n {
+		m.assign = make(core.Match, n)
+		m.order = make([]int, n)
+		m.placed = make([]bool, n)
+	}
+	m.assign = m.assign[:n]
+	m.order = m.order[:n]
+	m.placed = m.placed[:n]
+	for i := 0; i < n; i++ {
+		m.assign[i] = graph.Invalid
+		m.placed[i] = false
+	}
+}
+
+// planOrder mirrors the legacy searcher's matching order — pinned nodes
+// first, then BFS growth from placed nodes preferring small candidate
+// estimates, new components seeded by the most selective node — using
+// snapshot class sizes as estimates and no allocations.
+func (m *Matcher) planOrder() {
+	n := m.n
+	k := 0
+	for i := 0; i < n; i++ {
+		if _, ok := m.opts.Pin[i]; ok {
+			m.placed[i] = true
+			m.order[k] = i
+			k++
+		}
+	}
+	for k < n {
+		next, bestEst := -1, int(^uint(0)>>1)
+		for oi := 0; oi < k; oi++ {
+			p := m.order[oi]
+			for _, ei := range m.q.OutEdges(p) {
+				if w := int(m.cq.Edges[ei].To); !m.placed[w] && m.estimate(w) < bestEst {
+					next, bestEst = w, m.estimate(w)
+				}
+			}
+			for _, ei := range m.q.InEdges(p) {
+				if w := int(m.cq.Edges[ei].From); !m.placed[w] && m.estimate(w) < bestEst {
+					next, bestEst = w, m.estimate(w)
+				}
+			}
+		}
+		if next < 0 {
+			for v := 0; v < n; v++ {
+				if !m.placed[v] && m.estimate(v) < bestEst {
+					next, bestEst = v, m.estimate(v)
+				}
+			}
+		}
+		m.placed[next] = true
+		m.order[k] = next
+		k++
+	}
+}
+
+// estimate is the candidate-count upper bound used by the planner.
+func (m *Matcher) estimate(v int) int {
+	sym := m.cq.NodeSyms[v]
+	if sym == graph.WildcardSym {
+		return m.snap.NumNodes()
+	}
+	return m.snap.ClassSize(sym)
+}
+
+func (m *Matcher) extend(depth int) {
+	if m.halt {
+		return
+	}
+	if depth == m.n {
+		m.found++
+		if !m.yield(m.assign) {
+			m.halt = true
+		}
+		if m.opts.Limit > 0 && m.found >= m.opts.Limit {
+			m.halt = true
+		}
+		return
+	}
+	u := m.order[depth]
+	if v, ok := m.opts.Pin[u]; ok {
+		m.try(depth, u, v)
+		return
+	}
+	// Prefer the smallest label-filtered adjacency range among edges to
+	// already-matched neighbors: iterate the most selective sorted range,
+	// feasible() verifies the rest by binary search.
+	var best []graph.CSREdge
+	bestLen := -1
+	for _, ei := range m.q.InEdges(u) {
+		e := m.cq.Edges[ei]
+		if from := m.assign[e.From]; from != graph.Invalid {
+			if r := m.snap.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
+				best, bestLen = r, len(r)
+			}
+		}
+	}
+	for _, ei := range m.q.OutEdges(u) {
+		e := m.cq.Edges[ei]
+		if to := m.assign[e.To]; to != graph.Invalid {
+			if r := m.snap.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
+				best, bestLen = r, len(r)
+			}
+		}
+	}
+	if bestLen >= 0 {
+		for i := range best {
+			// Adjacency is (Label, To)-sorted, so duplicate (from, to,
+			// label) edges — which the graph type documents as never
+			// produced, but does not reject — sit adjacent; skipping them
+			// keeps the match set a set where the legacy path would
+			// re-yield the same h once per parallel edge.
+			if i > 0 && best[i] == best[i-1] {
+				continue
+			}
+			m.try(depth, u, best[i].To)
+			if m.halt {
+				return
+			}
+		}
+		return
+	}
+	// Fresh component: label class range, or all nodes for a wildcard.
+	sym := m.cq.NodeSyms[u]
+	if sym != graph.WildcardSym {
+		for _, v := range m.snap.NodesWith(sym) {
+			m.try(depth, u, v)
+			if m.halt {
+				return
+			}
+		}
+		return
+	}
+	for v := 0; v < m.snap.NumNodes(); v++ {
+		m.try(depth, u, graph.NodeID(v))
+		if m.halt {
+			return
+		}
+	}
+}
+
+// try extends the partial assignment with u -> v if injective and feasible.
+func (m *Matcher) try(depth, u int, v graph.NodeID) {
+	if m.used[v] {
+		return
+	}
+	if !m.feasible(u, v) {
+		return
+	}
+	m.assign[u] = v
+	m.used[v] = true
+	m.extend(depth + 1)
+	m.used[v] = false
+	m.assign[u] = graph.Invalid
+}
+
+// feasible verifies block membership, striping, node label, degree bounds,
+// and every pattern edge between u and an already-assigned node (binary
+// searches over sorted CSR ranges).
+func (m *Matcher) feasible(u int, v graph.NodeID) bool {
+	if !m.opts.Block.Contains(v) {
+		return false
+	}
+	if m.opts.StripeMod > 0 && u == m.opts.StripeNode && int(v)%m.opts.StripeMod != m.opts.StripeRem {
+		return false
+	}
+	if !pattern.LabelMatchesSym(m.cq.NodeSyms[u], m.snap.Label(v)) {
+		return false
+	}
+	if len(m.q.OutEdges(u)) > m.snap.OutDegree(v) || len(m.q.InEdges(u)) > m.snap.InDegree(v) {
+		return false
+	}
+	for _, ei := range m.q.OutEdges(u) {
+		e := m.cq.Edges[ei]
+		to := m.assign[e.To]
+		if int(e.To) == u {
+			to = v // self-loop
+		}
+		if to == graph.Invalid {
+			continue
+		}
+		if !m.snap.HasEdge(v, to, e.Label) {
+			return false
+		}
+	}
+	for _, ei := range m.q.InEdges(u) {
+		e := m.cq.Edges[ei]
+		if int(e.From) == u {
+			continue // self-loop handled above
+		}
+		from := m.assign[e.From]
+		if from == graph.Invalid {
+			continue
+		}
+		if !m.snap.HasEdge(from, v, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateSnapshot is Enumerate over a frozen snapshot with a throwaway
+// Matcher; callers with repeated enumerations should hold a Matcher.
+func EnumerateSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
+	NewMatcher(s).Enumerate(q, opts, yield)
+}
+
+// CountSnapshot counts matches over a frozen snapshot.
+func CountSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options) int {
+	return NewMatcher(s).Count(q, opts)
+}
+
+// AllSnapshot returns every match (copied) over a frozen snapshot.
+func AllSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options) []core.Match {
+	return NewMatcher(s).All(q, opts)
+}

@@ -1,0 +1,56 @@
+package pattern
+
+import "gfd/internal/graph"
+
+// CompiledEdge is a pattern edge with its label resolved to a symbol code
+// of a Snapshot's table.
+type CompiledEdge struct {
+	From, To int32
+	Label    graph.Sym
+}
+
+// Compiled is a pattern lowered onto a frozen graph's symbol table: node
+// and edge labels become dense graph.Sym codes, so the matcher's inner
+// loop compares integers — including the wildcard check (WildcardSym) —
+// instead of strings. Labels the snapshot never mentions compile to NoSym,
+// which matches nothing (the pattern then has no matches, exactly as with
+// string comparison).
+//
+// A Compiled is tied to the Symbols table it was compiled against; after
+// re-freezing a mutated graph, recompile (match.Matcher handles this by
+// caching per snapshot).
+type Compiled struct {
+	Q        *Pattern
+	NodeSyms []graph.Sym
+	Edges    []CompiledEdge
+}
+
+// Compile lowers q onto syms. It only reads the table (Lookup, never
+// Intern), so compiling against a shared snapshot is safe from concurrent
+// workers.
+func Compile(q *Pattern, syms *graph.Symbols) *Compiled {
+	c := &Compiled{
+		Q:        q,
+		NodeSyms: make([]graph.Sym, len(q.Nodes)),
+		Edges:    make([]CompiledEdge, len(q.Edges)),
+	}
+	lower := func(label string) graph.Sym {
+		if label == Wildcard {
+			return graph.WildcardSym
+		}
+		return syms.Lookup(label)
+	}
+	for i, n := range q.Nodes {
+		c.NodeSyms[i] = lower(n.Label)
+	}
+	for i, e := range q.Edges {
+		c.Edges[i] = CompiledEdge{From: int32(e.From), To: int32(e.To), Label: lower(e.Label)}
+	}
+	return c
+}
+
+// LabelMatchesSym is LabelMatches over interned codes: WildcardSym matches
+// anything, otherwise code equality. NoSym pattern labels match nothing.
+func LabelMatchesSym(patternSym, concrete graph.Sym) bool {
+	return patternSym == graph.WildcardSym || patternSym == concrete
+}

@@ -38,6 +38,9 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
 	res.Groups = len(groups)
 
+	// Compile the execution representation once; all workers share it.
+	snap := g.Freeze()
+
 	// ---- disPar: estimation with border/ownership accounting ---------
 	estStart := time.Now()
 	// Each fragment reports its local candidates with block-part sizes and
@@ -45,7 +48,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	// carrying per-fragment ownership of the candidate's c-neighborhood).
 	chargeCandidateMessages(g, cl, frag, groups)
 	cl.EndRound()
-	units, estSpan := estimateUnits(g, cl, groups, opt)
+	units, estSpan := estimateUnits(g, snap, cl, groups, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -53,7 +56,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	res.SplitUnits = split
 	// Attach per-worker shipping costs to each unit.
 	for i := range units {
-		attachShipCosts(g, frag, groups, &units[i])
+		attachShipCosts(g, snap, frag, &units[i])
 	}
 	res.Units = len(units)
 	res.EstimateWall = time.Since(estStart)
@@ -84,6 +87,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	partials := make([]int, opt.N)
 	busy := cl.RunMeasured(func(w int) {
 		var out Report
+		det := newUnitDetector(g, snap)
 		for _, ui := range assign[w] {
 			u := units[ui]
 			grp := groups[u.group]
@@ -93,7 +97,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 			// scan of the block; it is only worth considering when the
 			// prefetch is substantial.
 			if !opt.NoOptimize && shipped > minPartialConsideration {
-				if pb := partialMatchBytes(g, frag, grp, u, w, shipped); pb < shipped {
+				if pb := partialMatchBytes(g, snap, frag, grp, u, w, shipped); pb < shipped {
 					shipped = pb
 					strategy = "partial"
 				}
@@ -108,7 +112,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 			} else {
 				prefetched[w]++
 			}
-			detectUnit(g, grp, u, !opt.NoOptimize, &out)
+			det.detect(grp, u, !opt.NoOptimize, &out)
 		}
 		perWorker[w] = out
 	})
@@ -171,8 +175,8 @@ func chargeCandidateMessages(g *graph.Graph, cl *cluster.Cluster, frag *fragment
 
 // attachShipCosts computes, for every worker, the bytes that must be
 // shipped to it to assemble the unit's data block (its non-local part).
-func attachShipCosts(g *graph.Graph, frag *fragment.Fragmentation, groups []*ruleGroup, u *workUnit) {
-	block := u.Block(g).Sorted()
+func attachShipCosts(g *graph.Graph, snap *graph.Snapshot, frag *fragment.Fragmentation, u *workUnit) {
+	block := u.BlockSnap(snap).Sorted()
 	u.shipBytes = make([]int64, frag.N)
 	var total int64
 	perOwner := make([]int64, frag.N)
@@ -198,8 +202,8 @@ func attachShipCosts(g *graph.Graph, frag *fragment.Fragmentation, groups []*rul
 // per block node) prefilters units whose partial matches could not beat
 // prefetching, keeping the strategy selector itself cheap — the paper's
 // dlocalVio likewise estimates before exchanging.
-func partialMatchBytes(g *graph.Graph, frag *fragment.Fragmentation, grp *ruleGroup, u workUnit, w int, prefetchBytes int64) int64 {
-	block := u.Block(g)
+func partialMatchBytes(g *graph.Graph, snap *graph.Snapshot, frag *fragment.Fragmentation, grp *ruleGroup, u workUnit, w int, prefetchBytes int64) int64 {
+	block := u.BlockSnap(snap)
 	var upper int64
 	for v := range block {
 		if frag.OwnerOf(v) == w {

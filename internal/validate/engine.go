@@ -110,32 +110,50 @@ type workUnit struct {
 	totalBytes int64   // disVal: full block bytes
 }
 
-// detectUnit enumerates the matches of the unit's group pattern inside the
+// unitDetector is one worker's detection state: a snapshot-backed Matcher
+// plus reusable pin map and match scratch, so the per-unit loop stays off
+// the allocator. Workers each own one; the underlying Snapshot is shared.
+type unitDetector struct {
+	g       *graph.Graph
+	m       *match.Matcher
+	pin     map[int]graph.NodeID
+	scratch core.Match
+}
+
+func newUnitDetector(g *graph.Graph, snap *graph.Snapshot) *unitDetector {
+	return &unitDetector{
+		g:   g,
+		m:   match.NewMatcher(snap),
+		pin: make(map[int]graph.NodeID, 2),
+	}
+}
+
+// detect enumerates the matches of the unit's group pattern inside the
 // unit's data block, with the pivots pinned to the unit's candidates, and
 // checks every group dependency on each match. For symmetric two-component
 // patterns whose mirrored units were deduplicated, both pin orders are
 // enumerated so the full match set is preserved.
-func detectUnit(g *graph.Graph, grp *ruleGroup, u workUnit, deduped bool, out *Report) {
-	block := u.Block(g)
+func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, out *Report) {
+	block := u.BlockSnap(d.m.Snapshot())
 	runPins := func(c0, c1 graph.NodeID, both bool) {
-		pin := make(map[int]graph.NodeID, len(u.Candidates))
+		clear(d.pin)
 		if both {
-			pin[grp.pivot.Vars[0]] = c0
-			pin[grp.pivot.Vars[1]] = c1
+			d.pin[grp.pivot.Vars[0]] = c0
+			d.pin[grp.pivot.Vars[1]] = c1
 		} else {
 			for i, v := range grp.pivot.Vars {
-				pin[v] = u.Candidates[i]
+				d.pin[v] = u.Candidates[i]
 			}
 		}
 		opts := match.Options{
 			Block:      block,
-			Pin:        pin,
+			Pin:        d.pin,
 			StripeMod:  u.stripeMod,
 			StripeRem:  u.stripeRem,
 			StripeNode: stripeNode(grp, u),
 		}
-		match.Enumerate(g, grp.q, opts, func(m core.Match) bool {
-			grp.checkMatch(g, m, out)
+		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
+			grp.checkMatch(d.g, m, &d.scratch, out)
 			return true
 		})
 	}

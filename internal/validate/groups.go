@@ -104,15 +104,21 @@ func identityPerm(n int) []int {
 
 // checkMatch evaluates every dependency of the group against a group-level
 // match, appending violations (with matches remapped to each rule's own
-// node order).
-func (grp *ruleGroup) checkMatch(g *graph.Graph, m core.Match, out *Report) {
+// node order). The remapped match is staged in *scratch so the per-match
+// hot path allocates only when a violation is actually recorded.
+func (grp *ruleGroup) checkMatch(g *graph.Graph, m core.Match, scratch *core.Match, out *Report) {
 	for _, d := range grp.deps {
-		rm := make(core.Match, len(d.perm))
+		rm := *scratch
+		if cap(rm) < len(d.perm) {
+			rm = make(core.Match, len(d.perm))
+		}
+		rm = rm[:len(d.perm)]
+		*scratch = rm
 		for i, gi := range d.perm {
 			rm[i] = m[gi]
 		}
 		if d.rule.IsViolation(g, rm) {
-			*out = append(*out, Violation{Rule: d.rule.Name, Match: rm})
+			*out = append(*out, Violation{Rule: d.rule.Name, Match: append(core.Match(nil), rm...)})
 		}
 	}
 }

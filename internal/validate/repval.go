@@ -29,9 +29,13 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
 	res.Groups = len(groups)
 
+	// Compile the execution representation once; estimation and detection
+	// both run over the snapshot, shared read-only by every worker.
+	snap := g.Freeze()
+
 	// ---- bPar: parallel workload estimation --------------------------
 	estStart := time.Now()
-	units, estSpan := estimateUnits(g, cl, groups, opt)
+	units, estSpan := estimateUnits(g, snap, cl, groups, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -64,9 +68,10 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 	perWorker := make([]Report, opt.N)
 	busy := cl.RunMeasured(func(w int) {
 		var out Report
+		det := newUnitDetector(g, snap)
 		for _, ui := range assign[w] {
 			u := units[ui]
-			detectUnit(g, groups[u.group], u, !opt.NoOptimize, &out)
+			det.detect(groups[u.group], u, !opt.NoOptimize, &out)
 		}
 		perWorker[w] = out
 	})
@@ -101,7 +106,7 @@ const (
 // worker measures its candidates' c-hop block sizes and reports compact
 // unit descriptors to the coordinator. The returned span is the modeled
 // parallel duration of the phase (max worker busy time).
-func estimateUnits(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
+func estimateUnits(g *graph.Graph, snap *graph.Snapshot, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
 	type task struct {
 		group  int
 		ranges []stats.Range // one per component
@@ -113,7 +118,7 @@ func estimateUnits(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, opt
 		cands[gi] = make([][]graph.NodeID, k)
 		ranges := make([][]stats.Range, k)
 		for i := 0; i < k; i++ {
-			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.Candidates(g, i), "val", opt.HistogramM)
+			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.CandidatesSnap(snap, i), "val", opt.HistogramM)
 			cands[gi][i] = sorted
 			ranges[i] = rs
 		}
@@ -147,7 +152,7 @@ func estimateUnits(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, opt
 	// Phase A: measure every needed c-hop block size exactly once, the
 	// candidate set split contiguously across workers (each candidate is
 	// owned by one worker, so no neighborhood is measured twice).
-	sizeOf, sizeSpan := measureSizes(g, cl, groups, cands, opt.N)
+	sizeOf, sizeSpan := measureSizes(snap, cl, groups, cands, opt.N)
 
 	// Phase B: workers assemble the unit descriptors for their range
 	// combinations from the precomputed sizes.
@@ -187,8 +192,9 @@ func estimateUnits(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, opt
 
 // measureSizes computes |G_z̄[z]| for every (candidate, radius) pair any
 // group needs, in parallel with each pair assigned to exactly one worker.
-// It returns a read-only lookup plus the phase's modeled span.
-func measureSizes(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
+// It returns a read-only lookup plus the phase's modeled span. Traversal
+// runs over the frozen snapshot's CSR arrays.
+func measureSizes(snap *graph.Snapshot, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
 	type req struct {
 		node   graph.NodeID
 		radius int
@@ -211,7 +217,7 @@ func measureSizes(g *graph.Graph, cl *cluster.Cluster, groups []*ruleGroup, cand
 	busy := cl.RunMeasured(func(w int) {
 		mine := make(map[req]int)
 		for i := w; i < len(reqs); i += n {
-			mine[reqs[i]] = g.NeighborhoodSize(reqs[i].node, reqs[i].radius)
+			mine[reqs[i]] = snap.NeighborhoodSize(reqs[i].node, reqs[i].radius)
 		}
 		partial[w] = mine
 	})

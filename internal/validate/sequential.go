@@ -18,6 +18,9 @@ var ErrTimeout = errors.New("validate: sequential detection timed out")
 // every rule it enumerates all matches of the pattern in g and collects
 // those violating X → Y. It is the correctness reference for the parallel
 // engines, and exponential in the worst case.
+//
+// The graph is frozen once (Graph.Freeze) and every rule's enumeration
+// runs over the compiled snapshot.
 func DetVio(g *graph.Graph, set *core.Set) Report {
 	r, _ := DetVioCtx(context.Background(), g, set)
 	return r
@@ -27,15 +30,16 @@ func DetVio(g *graph.Graph, set *core.Set) Report {
 // matches.
 func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, error) {
 	var out Report
+	m := match.NewMatcher(g.Freeze())
 	for _, f := range set.Rules() {
 		var err error
-		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {
+		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
 			if ctx.Err() != nil {
 				err = ErrTimeout
 				return false
 			}
-			if f.IsViolation(g, m) {
-				out = append(out, Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
+			if f.IsViolation(g, h) {
+				out = append(out, Violation{Rule: f.Name, Match: append(core.Match(nil), h...)})
 			}
 			return true
 		})
@@ -50,10 +54,11 @@ func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, erro
 // Satisfies reports G |= Σ, i.e. whether the violation set is empty — the
 // validation problem of Proposition 9.
 func Satisfies(g *graph.Graph, set *core.Set) bool {
+	m := match.NewMatcher(g.Freeze())
 	for _, f := range set.Rules() {
 		violated := false
-		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {
-			if f.IsViolation(g, m) {
+		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
+			if f.IsViolation(g, h) {
 				violated = true
 				return false
 			}

@@ -115,3 +115,17 @@ func (p *Pivot) Candidates(g *graph.Graph, i int) []graph.NodeID {
 	}
 	return all
 }
+
+// CandidatesSnap is Candidates over a frozen snapshot: the contiguous
+// label-class range replaces the mutable graph's map lookup.
+func (p *Pivot) CandidatesSnap(s *graph.Snapshot, i int) []graph.NodeID {
+	label := p.Q.Nodes[p.Vars[i]].Label
+	if label != pattern.Wildcard {
+		return s.NodesWithLabel(label)
+	}
+	all := make([]graph.NodeID, s.NumNodes())
+	for j := range all {
+		all[j] = graph.NodeID(j)
+	}
+	return all
+}

@@ -157,6 +157,16 @@ func (u Unit) Block(g *graph.Graph) graph.NodeSet {
 	return set
 }
 
+// BlockSnap is Block over a frozen snapshot: the CSR traversal replaces the
+// hash-set BFS on the engines' hot path.
+func (u Unit) BlockSnap(s *graph.Snapshot) graph.NodeSet {
+	set := make(graph.NodeSet)
+	for i, v := range u.Candidates {
+		set.AddAll(s.Neighborhood(v, u.Pivot.Radii[i]))
+	}
+	return set
+}
+
 // TotalWeight sums unit weights; this approximates the sequential cost
 // t(|Σ|, |G|) the parallel bounds are stated against.
 func TotalWeight(units []Unit) int64 {
