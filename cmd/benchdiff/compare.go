@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metricFloor is the magnitude below which a baseline value is too small
+// to yield a meaningful ratio (sub-microsecond timings are scheduler
+// noise); such pairs are skipped rather than gated on.
+const metricFloor = 1e-6
+
+// configKeys are the gfdbench emission fields that must match between a
+// baseline and a fresh run: a diff across different workloads is
+// meaningless, so a mismatch is a hard error (regenerate the baselines).
+var configKeys = []string{"experiment", "scale", "rules", "pattern_q", "seed"}
+
+// FileResult is the comparison of one BENCH_*.json pair.
+type FileResult struct {
+	Name    string
+	Ratios  map[string]float64 // metric path -> fresh/base
+	Skipped []string           // metrics present on only one side or below floor
+	Geomean float64
+}
+
+// CompareFiles loads a baseline and one or more fresh emissions of the
+// same experiment and compares their numeric metrics. With several fresh
+// files (repeated runs), each metric takes its per-path minimum first —
+// best-of-N damps scheduler noise on shared CI runners, and a real
+// regression survives the minimum by definition.
+func CompareFiles(basePath string, freshPaths ...string) (FileResult, error) {
+	base, err := loadBench(basePath)
+	if err != nil {
+		return FileResult{}, err
+	}
+	fresh, err := loadBench(freshPaths[0])
+	if err != nil {
+		return FileResult{}, fmt.Errorf("%w (generate it with `gfdbench -json` before diffing)", err)
+	}
+	for _, p := range freshPaths[1:] {
+		next, err := loadBench(p)
+		if err != nil {
+			return FileResult{}, err
+		}
+		mergeMin(fresh, next)
+	}
+	return Compare(basePath, base, fresh)
+}
+
+// mergeMin folds next's numeric leaves into dst, keeping the smaller value
+// per position. Both arguments decode the same experiment config, so their
+// shapes match; non-numeric values are left as dst's.
+func mergeMin(dst, next map[string]any) {
+	var walk func(d, n any) any
+	walk = func(d, n any) any {
+		switch dv := d.(type) {
+		case float64:
+			if nv, ok := n.(float64); ok && nv < dv {
+				return nv
+			}
+		case map[string]any:
+			if nm, ok := n.(map[string]any); ok {
+				for k, c := range dv {
+					if nc, ok := nm[k]; ok {
+						dv[k] = walk(c, nc)
+					}
+				}
+			}
+		case []any:
+			if na, ok := n.([]any); ok {
+				for i := range dv {
+					if i < len(na) {
+						dv[i] = walk(dv[i], na[i])
+					}
+				}
+			}
+		}
+		return d
+	}
+	res, ok := dst["result"]
+	nres, nok := next["result"]
+	if ok && nok {
+		dst["result"] = walk(res, nres)
+	}
+}
+
+func loadBench(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Compare diffs two parsed emissions: config keys must match, then every
+// numeric leaf under "result" is compared by dotted path.
+func Compare(name string, base, fresh map[string]any) (FileResult, error) {
+	for _, k := range configKeys {
+		if bv, fv := fmt.Sprint(base[k]), fmt.Sprint(fresh[k]); bv != fv {
+			return FileResult{}, fmt.Errorf("%s: config %q differs (baseline %s, fresh %s); regenerate baselines with the same flags", name, k, bv, fv)
+		}
+	}
+	bm := flatten("", base["result"])
+	fm := flatten("", fresh["result"])
+	r := FileResult{Name: name, Ratios: make(map[string]float64)}
+	for path, bv := range bm {
+		fv, ok := fm[path]
+		if !ok {
+			r.Skipped = append(r.Skipped, path+" (missing in fresh)")
+			continue
+		}
+		if math.Abs(bv) < metricFloor || math.Abs(fv) < metricFloor {
+			r.Skipped = append(r.Skipped, path+" (below floor)")
+			continue
+		}
+		r.Ratios[path] = fv / bv
+	}
+	for path := range fm {
+		if _, ok := bm[path]; !ok {
+			r.Skipped = append(r.Skipped, path+" (missing in baseline)")
+		}
+	}
+	if len(r.Ratios) == 0 {
+		// A gate that compares nothing silently stops gating: treat it as
+		// a hard error, not a vacuous pass (typical cause: the emission
+		// schema or series names changed — regenerate the baselines).
+		return FileResult{}, fmt.Errorf("%s: no comparable metrics (%d skipped: %s ...); regenerate baselines", name, len(r.Skipped), first(r.Skipped))
+	}
+	sort.Strings(r.Skipped)
+	r.Geomean = geomean(r.Ratios)
+	return r, nil
+}
+
+func first(ss []string) string {
+	if len(ss) == 0 {
+		return "none"
+	}
+	return ss[0]
+}
+
+// flatten walks a decoded JSON value and collects numeric leaves keyed by
+// dotted path ("Rows.0.Cells.disVal").
+func flatten(prefix string, v any) map[string]float64 {
+	out := make(map[string]float64)
+	var walk func(string, any)
+	walk = func(p string, v any) {
+		switch t := v.(type) {
+		case float64:
+			out[p] = t
+		case map[string]any:
+			for k, c := range t {
+				walk(join(p, k), c)
+			}
+		case []any:
+			for i, c := range t {
+				walk(join(p, fmt.Sprint(i)), c)
+			}
+		}
+	}
+	walk(prefix, v)
+	return out
+}
+
+func join(p, k string) string {
+	if p == "" {
+		return k
+	}
+	return p + "." + k
+}
+
+func geomean(ratios map[string]float64) float64 {
+	if len(ratios) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
+}
+
+// Summarize computes the overall geomean across files (each ratio weighted
+// equally) and whether the gate fails: a breach of 1+threshold either
+// overall or in any single file. The per-file check matters — a regression
+// confined to one experiment must not be diluted to a pass by the stable
+// ones.
+func Summarize(results []FileResult, threshold float64) (overall float64, failed bool) {
+	all := make(map[string]float64)
+	for _, r := range results {
+		for p, v := range r.Ratios {
+			all[r.Name+":"+p] = v
+		}
+		if r.Geomean > 1+threshold {
+			failed = true
+		}
+	}
+	overall = geomean(all)
+	return overall, failed || overall > 1+threshold
+}
+
+// Report renders one file's comparison: its geomean and the worst
+// regressions, so a failing gate points at what slowed down.
+func (r FileResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s geomean %.3f over %d metrics", r.Name, r.Geomean, len(r.Ratios))
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, " (%d skipped)", len(r.Skipped))
+	}
+	b.WriteByte('\n')
+	type kv struct {
+		path string
+		r    float64
+	}
+	var worst []kv
+	for p, v := range r.Ratios {
+		worst = append(worst, kv{p, v})
+	}
+	sort.Slice(worst, func(i, j int) bool { return worst[i].r > worst[j].r })
+	for i := 0; i < len(worst) && i < 3; i++ {
+		if worst[i].r <= 1.05 {
+			break
+		}
+		fmt.Fprintf(&b, "    %-50s %.3fx\n", worst[i].path, worst[i].r)
+	}
+	return b.String()
+}

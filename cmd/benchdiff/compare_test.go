@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func emission(t *testing.T, cells map[string]float64) map[string]any {
+	t.Helper()
+	doc := map[string]any{
+		"experiment": "fig6", "timestamp": "ignored",
+		"scale": 60, "rules": 8, "pattern_q": 4, "seed": 42,
+		"result": map[string]any{
+			"Title": "t", "XLabel": "x",
+			"Rows": []any{map[string]any{"X": "1x", "Cells": cells}},
+		},
+	}
+	// Round-trip through JSON so numbers decode as float64 like real files.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.01, "disran": 0.02})
+	r, err := Compare("BENCH_fig6.json", base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Geomean-1) > 1e-9 {
+		t.Fatalf("identical runs geomean = %v, want 1", r.Geomean)
+	}
+	if _, failed := Summarize([]FileResult{r}, 0.15); failed {
+		t.Fatal("identical runs must pass the gate")
+	}
+}
+
+// TestSyntheticRegressionFails is the gate's acceptance check: a uniform
+// +20% slowdown (above the 15% threshold) must fail.
+func TestSyntheticRegressionFails(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.010, "disran": 0.020, "disnop": 0.015})
+	fresh := emission(t, map[string]float64{"disVal": 0.012, "disran": 0.024, "disnop": 0.018})
+	r, err := Compare("BENCH_fig6.json", base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Geomean-1.2) > 1e-6 {
+		t.Fatalf("geomean = %v, want 1.2", r.Geomean)
+	}
+	overall, failed := Summarize([]FileResult{r}, 0.15)
+	if !failed {
+		t.Fatalf("a 20%% regression (geomean %.3f) must fail the 15%% gate", overall)
+	}
+}
+
+func TestModestNoisePasses(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.010, "disran": 0.020})
+	fresh := emission(t, map[string]float64{"disVal": 0.011, "disran": 0.021}) // ≈ +7.5% geomean
+	r, err := Compare("BENCH_fig6.json", base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := Summarize([]FileResult{r}, 0.15); failed {
+		t.Fatal("sub-threshold noise must pass")
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.020})
+	fresh := emission(t, map[string]float64{"disVal": 0.010})
+	r, err := Compare("BENCH_fig6.json", base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := Summarize([]FileResult{r}, 0.15); failed {
+		t.Fatal("a 2x speedup must pass")
+	}
+}
+
+func TestConfigMismatchIsHardError(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.01})
+	fresh := emission(t, map[string]float64{"disVal": 0.01})
+	fresh["scale"] = float64(120)
+	if _, err := Compare("BENCH_fig6.json", base, fresh); err == nil {
+		t.Fatal("differing scale must be a hard error, not a comparison")
+	}
+}
+
+// TestNoComparableMetricsIsHardError: a comparison where nothing pairs up
+// must not pass vacuously — that would mean the gate silently stopped
+// gating (e.g. after a series rename).
+func TestNoComparableMetricsIsHardError(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.01})
+	fresh := emission(t, map[string]float64{"disval": 0.01}) // renamed series
+	if _, err := Compare("BENCH_fig6.json", base, fresh); err == nil {
+		t.Fatal("zero comparable metrics must be a hard error, not geomean 1")
+	}
+}
+
+// TestBestOfNMergeDampsNoise: with repeated fresh runs, each metric takes
+// its per-path minimum, so one noisy run does not trip the gate — while a
+// real regression, present in every run, survives the minimum.
+func TestBestOfNMergeDampsNoise(t *testing.T) {
+	noisy := emission(t, map[string]float64{"disVal": 0.019, "disran": 0.010})
+	quiet := emission(t, map[string]float64{"disVal": 0.010, "disran": 0.019})
+	mergeMin(noisy, quiet)
+	got := flatten("", noisy["result"])
+	for path, v := range got {
+		if v != 0.010 {
+			t.Fatalf("min-merge: %s = %v, want 0.010", path, v)
+		}
+	}
+}
+
+func TestBelowFloorAndMissingMetricsSkipped(t *testing.T) {
+	base := emission(t, map[string]float64{"disVal": 0.01, "tiny": 1e-9, "gone": 0.02})
+	fresh := emission(t, map[string]float64{"disVal": 0.01, "tiny": 5e-7, "new": 0.03})
+	r, err := Compare("BENCH_fig6.json", base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ratios) != 1 {
+		t.Fatalf("want exactly the disVal ratio, got %v", r.Ratios)
+	}
+	if len(r.Skipped) != 3 { // tiny (floor), gone (missing in fresh), new (missing in baseline)
+		t.Fatalf("skipped = %v, want 3 entries", r.Skipped)
+	}
+}
+
+// TestPerFileRegressionNotDiluted: a >threshold regression confined to one
+// experiment file must fail even when other files are stable enough to
+// keep the cross-file geomean under threshold.
+func TestPerFileRegressionNotDiluted(t *testing.T) {
+	stable := emission(t, map[string]float64{"disVal": 0.01, "disran": 0.01, "disnop": 0.01})
+	rStable, err := Compare("BENCH_fig5a.json", stable, stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed, err := Compare("BENCH_fig6.json",
+		emission(t, map[string]float64{"disVal": 0.010}),
+		emission(t, map[string]float64{"disVal": 0.013}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall, failed := Summarize([]FileResult{rStable, regressed}, 0.15)
+	if overall > 1.15 {
+		t.Fatalf("precondition: overall %.3f should be diluted under threshold", overall)
+	}
+	if !failed {
+		t.Fatal("a 30%% regression in one file must fail the gate despite dilution")
+	}
+}
+
+// TestGeomeanDampsSingleCellNoise documents the gate's design: one noisy
+// cell among many stable ones stays under threshold, while a broad
+// regression trips it (TestSyntheticRegressionFails).
+func TestGeomeanDampsSingleCellNoise(t *testing.T) {
+	cells := map[string]float64{}
+	freshCells := map[string]float64{}
+	for i := 0; i < 10; i++ {
+		k := string(rune('a' + i))
+		cells[k] = 0.01
+		freshCells[k] = 0.01
+	}
+	freshCells["a"] = 0.02 // one cell doubles
+	r, err := Compare("BENCH_fig6.json", emission(t, cells), emission(t, freshCells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := Summarize([]FileResult{r}, 0.15); failed {
+		t.Fatalf("single-cell noise (geomean %.3f) should not trip the gate", r.Geomean)
+	}
+}

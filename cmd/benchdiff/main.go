@@ -1,0 +1,123 @@
+// benchdiff is the benchmark-regression gate: it compares fresh
+// `gfdbench -json` output against committed BENCH_*.json baselines and
+// fails (exit 1) when the geometric mean of the fresh/baseline metric
+// ratios regresses by more than a threshold.
+//
+// Usage:
+//
+//	gfdbench -exp fig6 -scale 60 -json     # writes BENCH_fig6.json
+//	benchdiff -base BENCH_baselines -fresh .            # gate at 15%
+//	benchdiff -base BENCH_baselines -fresh . -threshold 25
+//	benchdiff -base BENCH_baselines -fresh . -update    # refresh baselines
+//
+// Every BENCH_*.json in -base must have a counterpart in -fresh, produced
+// with the same configuration (experiment, scale, rules, pattern size,
+// seed — checked, since comparing different workloads is meaningless).
+// Numeric leaves of the result payload are flattened to dotted paths and
+// compared pairwise; the gate is the geomean over all ratios, so a real
+// slowdown must be broad or deep to trip it while single-cell noise is
+// damped. Baselines are machine-specific: refresh them with -update when
+// the benchmark host changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	var (
+		baseDir   = flag.String("base", "BENCH_baselines", "directory holding committed BENCH_*.json baselines")
+		freshDirs = flag.String("fresh", ".", "comma-separated directories of freshly generated BENCH_*.json files; with several (repeated runs), each metric takes its best-of-N minimum before diffing")
+		threshold = flag.Float64("threshold", 15, "maximum tolerated geomean regression, percent")
+		update    = flag.Bool("update", false, "overwrite the baselines with the (first) fresh files instead of comparing")
+	)
+	flag.Parse()
+	dirs := strings.Split(*freshDirs, ",")
+
+	baselines, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json baselines in %s\n", *baseDir)
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := updateBaselines(baselines, dirs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -update: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	var results []FileResult
+	for _, b := range baselines {
+		fresh := make([]string, len(dirs))
+		for i, d := range dirs {
+			fresh[i] = filepath.Join(d, filepath.Base(b))
+		}
+		r, err := CompareFiles(b, fresh...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		results = append(results, r)
+	}
+
+	overall, failed := Summarize(results, *threshold/100)
+	for _, r := range results {
+		fmt.Print(r.Report())
+	}
+	fmt.Printf("overall geomean ratio: %.3f (threshold %.2f)\n", overall, 1+*threshold/100)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — benchmark regression above %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+// updateBaselines replaces each baseline with its fresh counterpart after
+// validating it: the fresh file must parse and carry comparable numeric
+// metrics (a truncated emission must never become the new baseline), and
+// config drift from the old baseline is reported loudly — legitimate when
+// the benchmark flags changed on purpose, a footgun otherwise. With
+// several fresh directories (repeated runs), the installed baseline is
+// the per-metric minimum, a low-noise floor.
+func updateBaselines(baselines []string, freshDirs []string) error {
+	for _, b := range baselines {
+		freshPath := filepath.Join(freshDirs[0], filepath.Base(b))
+		fresh, err := loadBench(freshPath)
+		if err != nil {
+			return err
+		}
+		for _, d := range freshDirs[1:] {
+			next, err := loadBench(filepath.Join(d, filepath.Base(b)))
+			if err != nil {
+				return err
+			}
+			mergeMin(fresh, next)
+		}
+		if leaves := flatten("", fresh["result"]); len(leaves) == 0 {
+			return fmt.Errorf("%s: no numeric metrics in result payload; refusing to install as baseline", freshPath)
+		}
+		if old, err := loadBench(b); err == nil {
+			for _, k := range configKeys {
+				if ov, fv := fmt.Sprint(old[k]), fmt.Sprint(fresh[k]); ov != fv {
+					fmt.Printf("note: %s config %q changes %s -> %s\n", filepath.Base(b), k, ov, fv)
+				}
+			}
+		}
+		data, err := json.MarshalIndent(fresh, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(b, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s\n", b)
+	}
+	return nil
+}

@@ -57,20 +57,26 @@ func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate
 	if n < 1 {
 		n = 1
 	}
+	// Even a relational engine gets the interned-dependency check: the
+	// final X → Y filter runs each rule's compiled literal program against
+	// the frozen attribute arena (the join pipeline itself — the part the
+	// comparison measures — stays relational).
+	snap := g.Freeze()
 	var out validate.Report
 	for _, f := range set.Rules() {
-		out = append(out, detectOneJoin(g, rel, f, n)...)
+		out = append(out, detectOneJoin(g, snap, rel, f, n)...)
 	}
 	out.Sort()
 	return out
 }
 
-func detectOneJoin(g *graph.Graph, rel *Relational, f *core.GFD, n int) validate.Report {
+func detectOneJoin(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, n int) validate.Report {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
 		return nil
 	}
+	prog := f.ProgramFor(snap.Syms())
 	plan := joinPlan(q)
 
 	// Outer scan: the first plan step's tuples, split across n workers.
@@ -94,7 +100,7 @@ func detectOneJoin(g *graph.Graph, rel *Relational, f *core.GFD, n int) validate
 				if !labelsOK(g, q, plan[0], b) {
 					continue
 				}
-				joinRest(g, rel, f, plan, 1, b, &local)
+				joinRest(g, snap, rel, f, prog, plan, 1, b, &local)
 			}
 			results[w] = local
 		}(w)
@@ -187,9 +193,9 @@ func bindNode(q *pattern.Pattern, b binding, pv int, g graph.NodeID) bool {
 	return true
 }
 
-func joinRest(g *graph.Graph, rel *Relational, f *core.GFD, plan []planStep, depth int, b binding, out *validate.Report) {
+func joinRest(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, out *validate.Report) {
 	if depth == len(plan) {
-		finishBinding(g, f, b, out)
+		finishBinding(snap, f, prog, b, out)
 		return
 	}
 	s := plan[depth]
@@ -201,7 +207,7 @@ func joinRest(g *graph.Graph, rel *Relational, f *core.GFD, plan []planStep, dep
 		if !labelsOK(g, f.Q, s, nb) {
 			continue
 		}
-		joinRest(g, rel, f, plan, depth+1, nb, out)
+		joinRest(g, snap, rel, f, prog, plan, depth+1, nb, out)
 	}
 }
 
@@ -220,8 +226,8 @@ func labelsOK(g *graph.Graph, q *pattern.Pattern, s planStep, b binding) bool {
 }
 
 // finishBinding applies the hand-coded isomorphism filter (pairwise
-// distinctness) and the dependency check.
-func finishBinding(g *graph.Graph, f *core.GFD, b binding, out *validate.Report) {
+// distinctness) and the compiled dependency check.
+func finishBinding(snap *graph.Snapshot, f *core.GFD, prog *core.LiteralProgram, b binding, out *validate.Report) {
 	for i := 0; i < len(b); i++ {
 		if b[i] == graph.Invalid {
 			return
@@ -233,7 +239,7 @@ func finishBinding(g *graph.Graph, f *core.GFD, b binding, out *validate.Report)
 		}
 	}
 	m := core.Match(b)
-	if f.IsViolation(g, m) {
+	if prog.IsViolation(snap, m) {
 		*out = append(*out, validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
 	}
 }

@@ -125,15 +125,18 @@ func isSimplePath(q *pattern.Pattern) bool {
 
 // Detect runs GCFD validation: path matches are enumerated (path patterns
 // are a special case the shared matcher handles in linear time per match)
-// and checked against X → Y. Violations are reported in the same format as
-// the GFD engine so accuracy is directly comparable.
+// and checked against X → Y via the compiled literal program, exactly as
+// the GFD engine does. Violations are reported in the same format so
+// accuracy is directly comparable.
 func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 	var out validate.Report
-	m := match.NewMatcher(g.Freeze())
+	snap := g.Freeze()
+	m := match.NewMatcher(snap)
 	for _, c := range rules {
 		f := core.MustNew(c.Name, c.Path, c.X, c.Y)
+		p := f.ProgramFor(snap.Syms())
 		m.Enumerate(c.Path, match.Options{}, func(h core.Match) bool {
-			if f.IsViolation(g, h) {
+			if p.IsViolation(snap, h) {
 				out = append(out, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)})
 			}
 			return true

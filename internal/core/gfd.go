@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gfd/internal/graph"
 	"gfd/internal/pattern"
@@ -73,11 +74,36 @@ type GFD struct {
 	Y    []Literal // consequent; empty means trivially satisfied
 
 	// Literal variables resolved to pattern node indices, bound once on
-	// first evaluation (IsViolation runs per match on the engines' hot
-	// path; re-hashing variable names there would dominate). Do not mutate
-	// Q, X, or Y after a GFD has been evaluated.
+	// first evaluation (literal checking runs per match on the engines'
+	// hot path; re-hashing variable names there would dominate). Do not
+	// mutate Q, X, or Y after a GFD has been evaluated.
 	bindOnce sync.Once
 	xb, yb   []boundLiteral
+
+	// Compiled literal program, cached per symbol table: engines share one
+	// snapshot across all workers, so the steady state is a pointer
+	// compare. Stored atomically because workers race on first use.
+	lits atomic.Pointer[compiledLits]
+}
+
+// compiledLits pins a LiteralProgram to the symbol table it was lowered on.
+type compiledLits struct {
+	syms *graph.Symbols
+	prog *LiteralProgram
+}
+
+// ProgramFor returns ϕ's literal program lowered onto syms, compiling on
+// first use per table and cached after that. The single-entry cache fits
+// the engine lifecycle (one snapshot per run, shared by every worker);
+// alternating between two live tables recompiles per call, which only the
+// differential tests do.
+func (f *GFD) ProgramFor(syms *graph.Symbols) *LiteralProgram {
+	if e := f.lits.Load(); e != nil && e.syms == syms {
+		return e.prog
+	}
+	e := &compiledLits{syms: syms, prog: f.CompileLiterals(syms)}
+	f.lits.Store(e)
+	return e.prog
 }
 
 // New constructs a GFD and validates that every literal variable occurs in
@@ -207,6 +233,14 @@ func writeLits(b *strings.Builder, ls []Literal) {
 }
 
 // ---- Semantics ----------------------------------------------------------
+//
+// Two evaluation paths implement the semantics below. The compiled path —
+// CompileLiterals / ProgramFor in program.go — lowers literals onto a
+// snapshot's symbol table and is what every engine runs per match. The
+// map-based methods on GFD (SatisfiesX/SatisfiesY/Holds/IsViolation) read
+// the mutable graph's Attrs maps directly; they are retained as the
+// differential-test oracle and for call sites that interleave evaluation
+// with mutation (noise injection).
 
 // Match is an instantiation h(x̄) of a pattern's variables in a graph:
 // Match[i] is the graph node matched by pattern node i.
@@ -302,6 +336,7 @@ func (f *GFD) Holds(g *graph.Graph, h Match) bool {
 }
 
 // IsViolation reports whether h(x̄) is a violation of ϕ: h |= X but h ̸|= Y.
+// Map-based oracle path; engines use LiteralProgram.IsViolation.
 func (f *GFD) IsViolation(g *graph.Graph, h Match) bool {
 	return f.SatisfiesX(g, h) && !f.SatisfiesY(g, h)
 }

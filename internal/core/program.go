@@ -1,0 +1,154 @@
+package core
+
+import (
+	"gfd/internal/graph"
+)
+
+// AttrSource is the interned attribute view a LiteralProgram evaluates
+// against: Snapshot's frozen arena on the batch path, AttrIndex's mutable
+// pairs on the incremental path. Both answer "what is the interned value
+// of attribute `name` on node v" with a binary search over int32 pairs.
+type AttrSource interface {
+	AttrSym(v graph.NodeID, name graph.Sym) (graph.Sym, bool)
+}
+
+// litInst is one lowered literal: variables resolved to pattern node
+// indices (done once per rule by bind) and attribute names / constant
+// values resolved to symbol codes of one table (done once per (rule,
+// snapshot) pair by CompileLiterals). Per-match evaluation is then a
+// couple of binary searches and integer compares — no strings, no maps.
+type litInst struct {
+	xi, yi int32
+	a, b   graph.Sym // attribute name codes
+	c      graph.Sym // constant value code, when kind == Constant
+	kind   LiteralKind
+}
+
+// LiteralProgram is a GFD's X → Y condition compiled onto a symbol table —
+// the attribute-side analogue of pattern.Compiled. A program is tied to
+// the table it was lowered on: evaluate it only against an AttrSource
+// backed by that table (the Snapshot it was compiled for, or the detector's
+// AttrIndex). GFD.ProgramFor handles the per-snapshot caching.
+type LiteralProgram struct {
+	x, y []litInst
+
+	// neverX / neverY record that some literal of the side references a
+	// name or constant the table has never seen. Such a literal cannot
+	// hold on any match (a missing attribute name means no node carries
+	// it; a missing constant means no node value equals it), so the whole
+	// side short-circuits with zero per-match work. NOTE: only sound for
+	// tables that intern every rule constant up front or never grow
+	// (Snapshot tables are frozen; AttrIndex callers use InternLiterals).
+	neverX, neverY bool
+}
+
+// CompileLiterals lowers ϕ's literals onto syms. It only reads the table
+// (Lookup, never Intern), so compiling against a shared snapshot table is
+// safe from concurrent workers.
+func (f *GFD) CompileLiterals(syms *graph.Symbols) *LiteralProgram {
+	f.bind()
+	p := &LiteralProgram{}
+	p.x, p.neverX = lowerLiterals(f.xb, syms)
+	p.y, p.neverY = lowerLiterals(f.yb, syms)
+	return p
+}
+
+func lowerLiterals(ls []boundLiteral, syms *graph.Symbols) ([]litInst, bool) {
+	if len(ls) == 0 {
+		return nil, false
+	}
+	never := false
+	out := make([]litInst, len(ls))
+	for i, l := range ls {
+		in := litInst{xi: int32(l.xi), kind: l.kind, a: syms.Lookup(l.a)}
+		if in.a == graph.NoSym {
+			never = true
+		}
+		if l.kind == Constant {
+			in.c = syms.Lookup(l.c)
+			if in.c == graph.NoSym {
+				never = true
+			}
+		} else {
+			in.yi = int32(l.yi)
+			in.b = syms.Lookup(l.b)
+			if in.b == graph.NoSym {
+				never = true
+			}
+		}
+		out[i] = in
+	}
+	return out, never
+}
+
+// InternLiterals interns every attribute name and constant of ϕ's literals
+// into syms, so a later CompileLiterals against the same table resolves
+// them all. Required before compiling against a growing table (AttrIndex):
+// a constant lowered to NoSym must mean "this value can never occur", which
+// only holds if the table is the sole authority on the value universe.
+func (f *GFD) InternLiterals(syms *graph.Symbols) {
+	for _, side := range [2][]Literal{f.X, f.Y} {
+		for _, l := range side {
+			syms.Intern(l.A)
+			if l.Kind == Constant {
+				syms.Intern(l.C)
+			} else {
+				syms.Intern(l.B)
+			}
+		}
+	}
+}
+
+// holds evaluates one instruction on a match: true iff the referenced
+// attributes exist and the equality holds (the compiled evalLiteral).
+func (l *litInst) holds(src AttrSource, h Match) bool {
+	xv, ok := src.AttrSym(h[l.xi], l.a)
+	if !ok {
+		return false
+	}
+	if l.kind == Constant {
+		return xv == l.c
+	}
+	yv, ok := src.AttrSym(h[l.yi], l.b)
+	return ok && xv == yv
+}
+
+// SatisfiesX reports h(x̄) |= X under the paper's semantics: a missing
+// attribute leaves X unsatisfied (and the GFD trivially satisfied).
+func (p *LiteralProgram) SatisfiesX(src AttrSource, h Match) bool {
+	if p.neverX {
+		return false
+	}
+	for i := range p.x {
+		if !p.x[i].holds(src, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesY reports h(x̄) |= Y; in Y a missing attribute is a violation.
+func (p *LiteralProgram) SatisfiesY(src AttrSource, h Match) bool {
+	if p.neverY {
+		return false
+	}
+	for i := range p.y {
+		if !p.y[i].holds(src, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds reports h(x̄) |= X → Y.
+func (p *LiteralProgram) Holds(src AttrSource, h Match) bool {
+	if !p.SatisfiesX(src, h) {
+		return true
+	}
+	return p.SatisfiesY(src, h)
+}
+
+// IsViolation reports whether h(x̄) violates ϕ: h |= X but h ̸|= Y.
+func (p *LiteralProgram) IsViolation(src AttrSource, h Match) bool {
+	return p.SatisfiesX(src, h) && !p.SatisfiesY(src, h)
+}

@@ -383,11 +383,13 @@ const mineVerifySample = 2000
 func holdsOnSample(g *graph.Graph, f *core.GFD) bool {
 	ok := true
 	seen, support := 0, 0
-	match.EnumerateSnapshot(g.Freeze(), f.Q, match.Options{}, func(m core.Match) bool {
+	snap := g.Freeze()
+	p := f.ProgramFor(snap.Syms())
+	match.EnumerateSnapshot(snap, f.Q, match.Options{}, func(m core.Match) bool {
 		seen++
-		if f.SatisfiesX(g, m) {
+		if p.SatisfiesX(snap, m) {
 			support++
-			if !f.SatisfiesY(g, m) {
+			if !p.SatisfiesY(snap, m) {
 				ok = false
 				return false
 			}

@@ -35,7 +35,10 @@ func InjectTargeted(g *graph.Graph, set *core.Set, rate float64, seed int64) []I
 			continue
 		}
 		// Collect the matches the rule actually constrains (h |= X) before
-		// mutating anything: corruption changes the match set.
+		// mutating anything: corruption changes the match set. This stays
+		// on the mutable-graph oracle path deliberately — the loop below
+		// interleaves SetAttr with the next rule's scan, so a frozen
+		// snapshot would be rebuilt per rule for a setup-time routine.
 		var targets []core.Match
 		seen := 0
 		match.Enumerate(g, f.Q, match.Options{}, func(m core.Match) bool {

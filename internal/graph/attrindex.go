@@ -1,0 +1,96 @@
+package graph
+
+import "sort"
+
+// AttrIndex is the mutable counterpart of the Snapshot's interned
+// attribute arena: per-node (Name, Val) pairs sorted by Name, maintained
+// incrementally as the graph mutates. The incremental detector owns one so
+// literal evaluation (core.LiteralProgram) runs on integer compares there
+// too, without re-freezing the whole graph per update batch.
+//
+// Unlike a Snapshot's table, an AttrIndex's Symbols table keeps growing:
+// updates intern new values on the fly. Interned codes are stable, so
+// literal programs compiled against the table stay valid as it grows —
+// with one caveat: a constant absent at compile time would lower to NoSym
+// and wrongly stay "never matches" after the value later appears. Callers
+// therefore intern every rule constant up front (GFD.InternLiterals)
+// before compiling.
+//
+// AttrIndex is not safe for concurrent mutation; the incremental detector
+// serializes updates by construction.
+type AttrIndex struct {
+	syms  *Symbols
+	pairs [][]AttrPair // indexed by NodeID, each sorted by Name
+}
+
+// NewAttrIndex builds the index of g's current attribute tuples. Names are
+// interned from one sorted pass over the distinct set (deterministic codes,
+// mirroring buildSnapshot); values in (node, sorted name) order.
+func NewAttrIndex(g *Graph) *AttrIndex {
+	ix := &AttrIndex{syms: NewSymbols(), pairs: make([][]AttrPair, g.NumNodes())}
+	distinct := make(map[string]struct{}, 8)
+	for _, a := range g.attrs {
+		for k := range a {
+			distinct[k] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(distinct))
+	for k := range distinct {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		ix.syms.Intern(k)
+	}
+	for v := range g.attrs {
+		ix.pairs[v] = ix.internTuple(g.attrs[v])
+	}
+	return ix
+}
+
+func (ix *AttrIndex) internTuple(a Attrs) []AttrPair {
+	if len(a) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ps := make([]AttrPair, 0, len(keys))
+	for _, k := range keys {
+		ps = append(ps, AttrPair{Name: ix.syms.Intern(k), Val: ix.syms.Intern(a[k])})
+	}
+	sortAttrPairs(ps)
+	return ps
+}
+
+// Syms returns the index's growing symbol table.
+func (ix *AttrIndex) Syms() *Symbols { return ix.syms }
+
+// AttrSym returns the interned value of attribute name on node v — the
+// same contract as Snapshot.AttrSym, over the mutable pairs.
+func (ix *AttrIndex) AttrSym(v NodeID, name Sym) (Sym, bool) {
+	return lookupAttr(ix.pairs[v], name)
+}
+
+// AddNode appends the tuple of a freshly inserted node (call in the same
+// order nodes are added to the graph; a nil attrs is allowed).
+func (ix *AttrIndex) AddNode(attrs Attrs) {
+	ix.pairs = append(ix.pairs, ix.internTuple(attrs))
+}
+
+// SetAttr upserts attribute name = val on node v, interning both.
+func (ix *AttrIndex) SetAttr(v NodeID, name, val string) {
+	n, vl := ix.syms.Intern(name), ix.syms.Intern(val)
+	ps := ix.pairs[v]
+	pos := sort.Search(len(ps), func(i int) bool { return ps[i].Name >= n })
+	if pos < len(ps) && ps[pos].Name == n {
+		ps[pos].Val = vl
+		return
+	}
+	ps = append(ps, AttrPair{})
+	copy(ps[pos+1:], ps[pos:])
+	ps[pos] = AttrPair{Name: n, Val: vl}
+	ix.pairs[v] = ps
+}

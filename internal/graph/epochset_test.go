@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomTestGraph(rng *rand.Rand, n, e int) *Graph {
+	g := New(n, e)
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		var t Attrs
+		if rng.Intn(2) == 0 {
+			t = Attrs{"val": fmt.Sprintf("v%d", rng.Intn(5))}
+		}
+		g.AddNode(labels[rng.Intn(len(labels))], t)
+	}
+	seen := map[[3]int]bool{}
+	for i := 0; i < e; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		l := rng.Intn(3)
+		k := [3]int{from, to, l}
+		if seen[k] {
+			continue // honor the no-duplicate-edge invariant
+		}
+		seen[k] = true
+		g.MustAddEdge(NodeID(from), NodeID(to), labels[l])
+	}
+	return g
+}
+
+// TestBlockIntoMatchesNeighborhoodUnion pins the EpochSet block assembly
+// (reused across units, the engines' hot path) to the reference union of
+// independent Neighborhood traversals, including overlapping multi-pivot
+// blocks where a shared visited mask would wrongly truncate the BFS.
+func TestBlockIntoMatchesNeighborhoodUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(30)
+		g := randomTestGraph(rng, n, 2*n)
+		s := g.Freeze()
+		set := NewEpochSet(n) // one set reused across iterations: exercises Reset
+		for it := 0; it < 10; it++ {
+			k := 1 + rng.Intn(3)
+			want := make(NodeSet)
+			set.Reset()
+			for i := 0; i < k; i++ {
+				start := NodeID(rng.Intn(n))
+				radius := rng.Intn(4)
+				want.AddAll(s.Neighborhood(start, radius))
+				s.BlockInto(set, start, radius)
+			}
+			if set.Len() != want.Len() {
+				t.Fatalf("trial %d it %d: block size %d, want %d", trial, it, set.Len(), want.Len())
+			}
+			for v := range want {
+				if !set.Contains(v) {
+					t.Fatalf("trial %d it %d: node %d missing from block", trial, it, v)
+				}
+			}
+			for _, v := range set.Members() {
+				if !want.Contains(v) {
+					t.Fatalf("trial %d it %d: node %d wrongly in block", trial, it, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEpochSetBasics(t *testing.T) {
+	s := NewEpochSet(5)
+	if !s.Add(3) || s.Add(3) {
+		t.Fatal("Add should report newness exactly once")
+	}
+	s.Add(1)
+	if !s.Contains(3) || !s.Contains(1) || s.Contains(0) {
+		t.Fatal("membership wrong")
+	}
+	if s.Contains(99) {
+		t.Fatal("out-of-range id must not be a member")
+	}
+	if s.Len() != 2 || len(s.Members()) != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Reset()
+	if s.Contains(3) || s.Len() != 0 {
+		t.Fatal("Reset did not empty the set")
+	}
+}
+
+// TestAttrIndexMatchesGraph pins AttrIndex lookups (and their evolution
+// under SetAttr/AddNode) to Graph.Attr, via string round-trips since the
+// index owns its own symbol table.
+func TestAttrIndexMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	names := []string{"val", "x", "y", "zz"}
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(12)
+		g := randomTestGraph(rng, n, n)
+		ix := NewAttrIndex(g)
+		check := func(stage string) {
+			for v := 0; v < g.NumNodes(); v++ {
+				for _, a := range names {
+					want, wantOK := g.Attr(NodeID(v), a)
+					sym, symOK := ix.AttrSym(NodeID(v), ix.Syms().Lookup(a))
+					if symOK != wantOK {
+						t.Fatalf("%s: node %d attr %q presence index=%v graph=%v", stage, v, a, symOK, wantOK)
+					}
+					if wantOK && ix.Syms().Name(sym) != want {
+						t.Fatalf("%s: node %d attr %q = %q, want %q", stage, v, a, ix.Syms().Name(sym), want)
+					}
+				}
+			}
+		}
+		check("initial")
+		for u := 0; u < 15; u++ {
+			if rng.Intn(4) == 0 {
+				attrs := Attrs{names[rng.Intn(len(names))]: fmt.Sprintf("new%d", rng.Intn(3))}
+				g.AddNode("a", attrs)
+				ix.AddNode(attrs)
+			} else {
+				v := NodeID(rng.Intn(g.NumNodes()))
+				a := names[rng.Intn(len(names))]
+				val := fmt.Sprintf("v%d", rng.Intn(6))
+				g.SetAttr(v, a, val)
+				ix.SetAttr(v, a, val)
+			}
+		}
+		check("after-mutation")
+	}
+}
+
+// TestSnapshotAttrArena exercises the interned arena directly, including
+// an attribute name that collides with a node label (its Sym code is out
+// of lexicographic order relative to other attribute names, so the
+// per-node sort by code is what keeps the binary search correct).
+func TestSnapshotAttrArena(t *testing.T) {
+	g := New(3, 0)
+	// "zz" is interned first as a node label, then reused as an attr name:
+	// its code is smaller than "aa"'s even though "aa" < "zz" as strings.
+	g.AddNode("zz", Attrs{"aa": "1", "zz": "2", "mm": "3"})
+	g.AddNode("person", Attrs{"zz": "9"})
+	g.AddNode("person", nil)
+	s := g.Freeze()
+	for _, tc := range []struct {
+		v    NodeID
+		a    string
+		want string
+		ok   bool
+	}{
+		{0, "aa", "1", true}, {0, "zz", "2", true}, {0, "mm", "3", true},
+		{1, "zz", "9", true}, {1, "aa", "", false},
+		{2, "zz", "", false}, {0, "ghost", "", false},
+	} {
+		got, ok := s.Attr(tc.v, tc.a)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("Attr(%d, %q) = (%q, %v), want (%q, %v)", tc.v, tc.a, got, ok, tc.want, tc.ok)
+		}
+	}
+	// Pairs must be sorted by Name code for every node.
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		ps := s.AttrPairs(v)
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1].Name >= ps[i].Name {
+				t.Fatalf("node %d pairs not strictly sorted by Name: %v", v, ps)
+			}
+		}
+	}
+	if _, ok := s.AttrSym(0, NoSym); ok {
+		t.Fatal("AttrSym(NoSym) must miss")
+	}
+}
+
+// TestInducedSubgraphAttrIsolation is the snapshot-version audit
+// regression: InducedSubgraph must copy attribute tuples, so a SetAttr on
+// the subgraph bumps only the subgraph's version and can never mutate the
+// parent behind its cached snapshot.
+func TestInducedSubgraphAttrIsolation(t *testing.T) {
+	g := New(2, 1)
+	g.AddNode("person", Attrs{"val": "old"})
+	g.AddNode("person", Attrs{"val": "x"})
+	g.MustAddEdge(0, 1, "knows")
+	snap := g.Freeze()
+
+	sub, remap := g.InducedSubgraph([]NodeID{0, 1})
+	sub.SetAttr(remap[0], "val", "mutated")
+
+	if v, _ := g.Attr(0, "val"); v != "old" {
+		t.Fatalf("parent attr mutated through subgraph: %q", v)
+	}
+	if g.Freeze() != snap {
+		t.Fatal("parent snapshot invalidated by subgraph mutation")
+	}
+	if v, _ := snap.Attr(0, "val"); v != "old" {
+		t.Fatalf("frozen arena changed: %q", v)
+	}
+	if v, _ := sub.Attr(remap[0], "val"); v != "mutated" {
+		t.Fatalf("subgraph SetAttr lost: %q", v)
+	}
+}
+
+// TestCloneSnapshotIsolation: same audit for Clone.
+func TestCloneSnapshotIsolation(t *testing.T) {
+	g := New(1, 0)
+	g.AddNode("n", Attrs{"k": "orig"})
+	snap := g.Freeze()
+	c := g.Clone()
+	c.SetAttr(0, "k", "changed")
+	if g.Freeze() != snap {
+		t.Fatal("clone mutation invalidated the original's snapshot")
+	}
+	if v, _ := snap.Attr(0, "k"); v != "orig" {
+		t.Fatalf("frozen arena observed clone mutation: %q", v)
+	}
+	if cv, _ := c.Freeze().Attr(0, "k"); cv != "changed" {
+		t.Fatalf("clone snapshot stale: %q", cv)
+	}
+}

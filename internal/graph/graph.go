@@ -26,6 +26,18 @@ const Invalid NodeID = -1
 // Attribute values are strings; the paper's constants are uninterpreted.
 type Attrs map[string]string
 
+// Clone returns a copy of the tuple (nil stays nil).
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	m := make(Attrs, len(a))
+	for k, v := range a {
+		m[k] = v
+	}
+	return m
+}
+
 // HalfEdge is one endpoint's view of a labeled directed edge.
 type HalfEdge struct {
 	To    NodeID // the other endpoint (target for out-edges, source for in-edges)
@@ -292,13 +304,7 @@ func (g *Graph) Clone() *Graph {
 		degHint: g.degHint,
 	}
 	for i, a := range g.attrs {
-		if a != nil {
-			m := make(Attrs, len(a))
-			for k, v := range a {
-				m[k] = v
-			}
-			c.attrs[i] = m
-		}
+		c.attrs[i] = a.Clone()
 	}
 	for i := range g.out {
 		c.out[i] = append([]HalfEdge(nil), g.out[i]...)
@@ -313,7 +319,9 @@ func (g *Graph) Clone() *Graph {
 // InducedSubgraph returns the subgraph induced by the node set keep: it
 // contains exactly the nodes of keep and all edges of g whose endpoints are
 // both in keep. Node IDs are remapped densely; the second return value maps
-// original IDs to new IDs.
+// original IDs to new IDs. Attribute tuples are copied: a SetAttr on the
+// subgraph must bump only the subgraph's version, never mutate the parent
+// behind its cached snapshot.
 func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, map[NodeID]NodeID) {
 	remap := make(map[NodeID]NodeID, len(keep))
 	sub := New(len(keep), 0)
@@ -321,7 +329,7 @@ func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, map[NodeID]NodeID) {
 		if _, dup := remap[id]; dup {
 			continue
 		}
-		remap[id] = sub.AddNode(g.labels[id], g.attrs[id])
+		remap[id] = sub.AddNode(g.labels[id], g.attrs[id].Clone())
 	}
 	for old, nw := range remap {
 		for _, he := range g.out[old] {

@@ -14,6 +14,15 @@ type CSREdge struct {
 	Label Sym
 }
 
+// AttrPair is one interned attribute of a node's tuple: attribute name and
+// value as symbol codes. Within a node's range pairs are sorted by Name,
+// so attribute lookup is a binary search over int32 pairs and literal
+// evaluation (core.LiteralProgram) is pure integer comparison.
+type AttrPair struct {
+	Name Sym
+	Val  Sym
+}
+
 // Snapshot is a compiled, immutable CSR (compressed sparse row) view of a
 // Graph: flat adjacency arrays with per-node offsets, interned labels, and
 // contiguous per-label candidate ranges. It is the execution representation
@@ -24,13 +33,16 @@ type CSREdge struct {
 // one across workers). It reflects the graph at freeze time; mutating the
 // source graph afterwards invalidates it — call Freeze again to get a fresh
 // view (Freeze is cached and only rebuilds after a mutation). Attribute
-// tuples are shared with the source graph by reference, not copied.
+// tuples are copied into an interned arena at freeze time, so later
+// mutations of the source graph's maps never leak into a frozen view.
 type Snapshot struct {
 	g    *Graph
 	syms *Symbols
 
-	labels []Sym   // node label codes, indexed by NodeID
-	attrs  []Attrs // shared with the source graph
+	labels []Sym // node label codes, indexed by NodeID
+
+	attrOff   []int32 // len NumNodes+1; attrPairs[attrOff[v]:attrOff[v+1]] is v's tuple
+	attrPairs []AttrPair
 
 	outOff []int32 // len NumNodes+1; out[outOff[v]:outOff[v+1]] is v's out-adjacency
 	out    []CSREdge
@@ -68,7 +80,6 @@ func buildSnapshot(g *Graph) *Snapshot {
 		g:      g,
 		syms:   NewSymbols(),
 		labels: make([]Sym, n),
-		attrs:  append([]Attrs(nil), g.attrs...),
 		outOff: make([]int32, n+1),
 		inOff:  make([]int32, n+1),
 		out:    make([]CSREdge, 0, g.edges),
@@ -93,12 +104,17 @@ func buildSnapshot(g *Graph) *Snapshot {
 		}
 	}
 	s.inOff[n] = int32(len(s.in))
-	// Intern attribute names so the shared symbol namespace covers them
-	// for the planned literal-evaluation interning (ROADMAP): collect the
-	// distinct names first, then one sort keeps the codes deterministic
-	// without per-node work.
+	// Intern attribute names and values and flatten every node's tuple
+	// into one contiguous (Name, Val) arena. Names are interned from one
+	// sorted pass over the distinct set so their codes are deterministic;
+	// values are interned in (node, sorted attribute name) order. Copying
+	// the tuples here (instead of sharing the graph's maps by reference)
+	// is what lets literal evaluation run without string hashing — and it
+	// means a frozen view can never observe a later map mutation.
 	distinct := make(map[string]struct{}, 8)
-	for _, a := range s.attrs {
+	total := 0
+	for _, a := range g.attrs {
+		total += len(a)
 		for k := range a {
 			distinct[k] = struct{}{}
 		}
@@ -111,6 +127,29 @@ func buildSnapshot(g *Graph) *Snapshot {
 	for _, k := range attrNames {
 		s.syms.Intern(k)
 	}
+	s.attrOff = make([]int32, n+1)
+	s.attrPairs = make([]AttrPair, 0, total)
+	var keyScratch []string
+	for v := 0; v < n; v++ {
+		s.attrOff[v] = int32(len(s.attrPairs))
+		a := g.attrs[v]
+		if len(a) == 0 {
+			continue
+		}
+		keyScratch = keyScratch[:0]
+		for k := range a {
+			keyScratch = append(keyScratch, k)
+		}
+		sort.Strings(keyScratch)
+		for _, k := range keyScratch {
+			s.attrPairs = append(s.attrPairs, AttrPair{Name: s.syms.Lookup(k), Val: s.syms.Intern(a[k])})
+		}
+		// The shared namespace can assign an attribute name a code out of
+		// lexicographic order (when it collides with an earlier-interned
+		// label), so re-sort the tuple by Name code for binary search.
+		sortAttrPairs(s.attrPairs[s.attrOff[v]:])
+	}
+	s.attrOff[n] = int32(len(s.attrPairs))
 	// Sort each node's adjacency by (Label, To): label-filtered neighbor
 	// iteration becomes a contiguous subrange, HasEdge a binary search.
 	for v := 0; v < n; v++ {
@@ -146,12 +185,21 @@ func sortCSR(es []CSREdge) {
 	})
 }
 
+// sortAttrPairs orders a node's tuple by Name code. Tuples are tiny, so an
+// insertion sort beats sort.Slice's closure machinery during freeze.
+func sortAttrPairs(ps []AttrPair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Name < ps[j-1].Name; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
 // Syms returns the snapshot's symbol table; patterns are compiled against
 // it (pattern.Compile).
 func (s *Snapshot) Syms() *Symbols { return s.syms }
 
-// Graph returns the source graph (attribute evaluation still reads the
-// mutable graph's tuples).
+// Graph returns the source graph.
 func (s *Snapshot) Graph() *Graph { return s.g }
 
 // NumNodes returns |V| at freeze time.
@@ -166,15 +214,48 @@ func (s *Snapshot) Label(v NodeID) Sym { return s.labels[v] }
 // LabelName returns the string label of node v.
 func (s *Snapshot) LabelName(v NodeID) string { return s.syms.Name(s.labels[v]) }
 
-// Attr returns the value of attribute a on node v, delegating to the
-// source graph's attribute tuples.
+// Attr returns the value of attribute a on node v at freeze time, read
+// from the interned arena (string-keyed convenience; hot paths use
+// AttrSym).
 func (s *Snapshot) Attr(v NodeID, a string) (string, bool) {
-	m := s.attrs[v]
-	if m == nil {
+	val, ok := s.AttrSym(v, s.syms.Lookup(a))
+	if !ok {
 		return "", false
 	}
-	val, ok := m[a]
-	return val, ok
+	return s.syms.Name(val), true
+}
+
+// AttrSym returns the interned value of attribute name on node v, or
+// (NoSym, false) when the node does not carry it. Lookup is a binary
+// search over the node's (Name, Val) pairs — no string hashing, no map.
+// name == NoSym (an attribute the frozen graph never mentions) matches
+// nothing.
+func (s *Snapshot) AttrSym(v NodeID, name Sym) (Sym, bool) {
+	return lookupAttr(s.attrPairs[s.attrOff[v]:s.attrOff[v+1]], name)
+}
+
+// lookupAttr is the lower-bound binary search over a name-sorted tuple
+// shared by Snapshot.AttrSym and AttrIndex.AttrSym.
+func lookupAttr(ps []AttrPair, name Sym) (Sym, bool) {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps[mid].Name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ps) && ps[lo].Name == name {
+		return ps[lo].Val, true
+	}
+	return NoSym, false
+}
+
+// AttrPairs returns v's attribute tuple as interned pairs sorted by Name.
+// Shared; read-only.
+func (s *Snapshot) AttrPairs(v NodeID) []AttrPair {
+	return s.attrPairs[s.attrOff[v]:s.attrOff[v+1]]
 }
 
 // Out returns v's out-adjacency range, sorted by (Label, To). Shared;

@@ -1,8 +1,10 @@
 package graph
 
-// Sym is a dense interned code for a node label, edge label, or attribute
-// name. Snapshots compare labels as Sym equality instead of string
-// comparison in the matching inner loop; see Symbols.
+// Sym is a dense interned code for a node label, edge label, attribute
+// name, or attribute value. Snapshots compare labels as Sym equality
+// instead of string comparison in the matching inner loop, and literal
+// programs (core.LiteralProgram) compare attribute values the same way;
+// see Symbols.
 type Sym int32
 
 const (
@@ -20,9 +22,11 @@ const (
 )
 
 // Symbols is an interning table mapping names (node labels, edge labels,
-// attribute names — one shared namespace) to dense Sym codes. A Snapshot
-// owns one; package pattern compiles patterns against it so pattern/graph
-// label comparison is integer equality, including the wildcard check.
+// attribute names, and attribute values — one shared namespace) to dense
+// Sym codes. A Snapshot owns one; package pattern compiles patterns
+// against it so pattern/graph label comparison is integer equality,
+// including the wildcard check, and package core lowers X → Y literals
+// onto it so per-match attribute checking is integer equality too.
 //
 // Intern mutates the table and must not be called concurrently; Lookup and
 // Name are read-only and safe to share across goroutines once the table is

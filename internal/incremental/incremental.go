@@ -19,7 +19,12 @@
 // *graph.Graph directly rather than a frozen Snapshot: it interleaves
 // mutation with small localized re-validations, so re-freezing the whole
 // graph per update batch would cost more than the slice-backed matching it
-// replaces. Sharing snapshots incrementally is an open item in ROADMAP.md.
+// replaces. Literal evaluation, however, does run compiled: the detector
+// maintains a graph.AttrIndex (the mutable counterpart of the snapshot's
+// interned attribute arena) across updates and checks X → Y through each
+// rule's core.LiteralProgram, so per-match attribute checking is integer
+// compares here too. Sharing topology snapshots incrementally (CSR
+// patches) remains an open item in ROADMAP.md.
 package incremental
 
 import (
@@ -61,11 +66,15 @@ func (AddNode) isUpdate() {}
 func (AddEdge) isUpdate() {}
 func (SetAttr) isUpdate() {}
 
-// Detector maintains Vio(Σ, G) across updates.
+// Detector maintains Vio(Σ, G) across updates. All mutations must go
+// through Apply, which keeps the interned attribute index in lockstep with
+// the graph.
 type Detector struct {
 	g      *graph.Graph
 	rules  []*core.GFD
 	pivots []*workload.Pivot
+	attrs  *graph.AttrIndex
+	progs  []*core.LiteralProgram // per rule, compiled against attrs.Syms()
 
 	// violations keyed by unit identity (rule index + pivot node vector),
 	// so an affected unit's stale entries can be replaced atomically.
@@ -97,10 +106,18 @@ func New(g *graph.Graph, set *core.Set) *Detector {
 	d := &Detector{
 		g:      g,
 		rules:  set.Rules(),
+		attrs:  graph.NewAttrIndex(g),
 		byUnit: make(map[string][]Violation),
+	}
+	// Intern every rule constant before compiling: the index's table
+	// grows with updates, and a constant must never be frozen as
+	// "unknown" when a later SetAttr could introduce its value.
+	for _, f := range d.rules {
+		f.InternLiterals(d.attrs.Syms())
 	}
 	for _, f := range d.rules {
 		d.pivots = append(d.pivots, workload.ComputePivot(f.Q))
+		d.progs = append(d.progs, f.CompileLiterals(d.attrs.Syms()))
 	}
 	// Initial validation, unit by unit so the per-unit index is built.
 	for ri := range d.rules {
@@ -141,6 +158,7 @@ func (d *Detector) Apply(ups ...Update) []graph.NodeID {
 		switch u := up.(type) {
 		case AddNode:
 			id := d.g.AddNode(u.Label, u.Attrs)
+			d.attrs.AddNode(u.Attrs)
 			inserted = append(inserted, id)
 			touched.Add(id)
 		case AddEdge:
@@ -149,6 +167,7 @@ func (d *Detector) Apply(ups ...Update) []graph.NodeID {
 			touched.Add(u.To)
 		case SetAttr:
 			d.g.SetAttr(u.Node, u.Attr, u.Value)
+			d.attrs.SetAttr(u.Node, u.Attr, u.Value)
 			touched.Add(u.Node)
 		}
 	}
@@ -269,8 +288,9 @@ func (d *Detector) revalidateUnit(ri int, cands []graph.NodeID) {
 		pin[pv.Vars[i]] = z
 	}
 	var found []Violation
+	prog := d.progs[ri]
 	match.Enumerate(d.g, f.Q, match.Options{Block: block, Pin: pin}, func(m core.Match) bool {
-		if f.IsViolation(d.g, m) {
+		if prog.IsViolation(d.attrs, m) {
 			found = append(found, Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
 		}
 		return true

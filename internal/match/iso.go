@@ -30,8 +30,9 @@ import (
 // Options configures an enumeration.
 type Options struct {
 	// Block restricts every matched graph node to this set. nil means the
-	// whole graph.
-	Block graph.NodeSet
+	// whole graph. Engines pass a per-worker *graph.EpochSet (reusable,
+	// allocation-free); ad-hoc callers pass a graph.NodeSet.
+	Block graph.Membership
 	// Pin forces pattern node index k to match exactly Pin[k]. Used to
 	// enumerate only matches that include a pivot candidate.
 	Pin map[int]graph.NodeID
@@ -248,7 +249,7 @@ func (s *searcher) candidates(u int) []graph.NodeID {
 // block membership, node label, degree bounds, and every pattern edge
 // between u and an already-assigned node.
 func (s *searcher) feasible(u int, v graph.NodeID) bool {
-	if !s.opts.Block.Contains(v) {
+	if s.opts.Block != nil && !s.opts.Block.Contains(v) {
 		return false
 	}
 	if s.opts.StripeMod > 0 && u == s.opts.StripeNode && int(v)%s.opts.StripeMod != s.opts.StripeRem {

@@ -23,8 +23,7 @@ import (
 // most selective sorted range, remaining constraints checked by binary
 // search), falling back to the pattern node's label class.
 type Matcher struct {
-	snap     *graph.Snapshot
-	compiled map[*pattern.Pattern]*pattern.Compiled
+	snap *graph.Snapshot
 
 	// Reusable search state.
 	used   []bool     // graph-node used-set, sized |V|
@@ -45,9 +44,8 @@ type Matcher struct {
 // NewMatcher returns a matcher over snap.
 func NewMatcher(snap *graph.Snapshot) *Matcher {
 	return &Matcher{
-		snap:     snap,
-		compiled: make(map[*pattern.Pattern]*pattern.Compiled),
-		used:     make([]bool, snap.NumNodes()),
+		snap: snap,
+		used: make([]bool, snap.NumNodes()),
 	}
 }
 
@@ -106,16 +104,11 @@ func (m *Matcher) All(q *pattern.Pattern, opts Options) []core.Match {
 	return out
 }
 
-// compiledFor lowers q onto the snapshot's symbol table, memoized per
-// pattern pointer (rule groups and rule sets reuse pattern values, so the
-// steady state is a map hit).
+// compiledFor lowers q onto the snapshot's symbol table, memoized on the
+// pattern itself (pattern.CompileFor), so matchers are cheap to construct
+// and workers sharing rule patterns share the lowering.
 func (m *Matcher) compiledFor(q *pattern.Pattern) *pattern.Compiled {
-	if cq, ok := m.compiled[q]; ok {
-		return cq
-	}
-	cq := pattern.Compile(q, m.snap.Syms())
-	m.compiled[q] = cq
-	return cq
+	return pattern.CompileFor(q, m.snap.Syms())
 }
 
 // ensure sizes the reusable buffers for an n-node pattern.
@@ -280,7 +273,7 @@ func (m *Matcher) try(depth, u int, v graph.NodeID) {
 // and every pattern edge between u and an already-assigned node (binary
 // searches over sorted CSR ranges).
 func (m *Matcher) feasible(u int, v graph.NodeID) bool {
-	if !m.opts.Block.Contains(v) {
+	if m.opts.Block != nil && !m.opts.Block.Contains(v) {
 		return false
 	}
 	if m.opts.StripeMod > 0 && u == m.opts.StripeNode && int(v)%m.opts.StripeMod != m.opts.StripeRem {

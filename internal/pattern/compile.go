@@ -25,6 +25,25 @@ type Compiled struct {
 	Edges    []CompiledEdge
 }
 
+// compiledEntry pins a Compiled to the symbol table it was lowered on.
+type compiledEntry struct {
+	syms *graph.Symbols
+	c    *Compiled
+}
+
+// CompileFor is Compile memoized on the pattern per symbol table: engines
+// share one snapshot per run, so the steady state is an atomic load and a
+// pointer compare — repeated matcher construction (one per worker, one per
+// DetVio call) stops re-lowering every rule pattern.
+func CompileFor(q *Pattern, syms *graph.Symbols) *Compiled {
+	if e := q.compiled.Load(); e != nil && e.syms == syms {
+		return e.c
+	}
+	e := &compiledEntry{syms: syms, c: Compile(q, syms)}
+	q.compiled.Store(e)
+	return e.c
+}
+
 // Compile lowers q onto syms. It only reads the table (Lookup, never
 // Intern), so compiling against a shared snapshot is safe from concurrent
 // workers.

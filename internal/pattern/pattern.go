@@ -8,6 +8,7 @@ package pattern
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Wildcard is the special label '_' that matches any node or edge label.
@@ -39,6 +40,10 @@ type Pattern struct {
 	varIdx map[Var]int
 	out    [][]int // edge indices leaving node i
 	in     [][]int // edge indices entering node i
+
+	// Lowered form cached per symbol table (see CompileFor). Do not mutate
+	// a pattern after it has been compiled against a snapshot.
+	compiled atomic.Pointer[compiledEntry]
 }
 
 // New returns an empty pattern.

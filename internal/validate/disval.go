@@ -87,7 +87,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	partials := make([]int, opt.N)
 	busy := cl.RunMeasured(func(w int) {
 		var out Report
-		det := newUnitDetector(g, snap)
+		det := newUnitDetector(snap)
 		for _, ui := range assign[w] {
 			u := units[ui]
 			grp := groups[u.group]

@@ -112,20 +112,35 @@ type workUnit struct {
 
 // unitDetector is one worker's detection state: a snapshot-backed Matcher
 // plus reusable pin map and match scratch, so the per-unit loop stays off
-// the allocator. Workers each own one; the underlying Snapshot is shared.
+// the allocator. Workers each own one; the underlying Snapshot is shared
+// and serves both enumeration (CSR topology) and literal evaluation
+// (interned attribute arena).
 type unitDetector struct {
-	g       *graph.Graph
 	m       *match.Matcher
 	pin     map[int]graph.NodeID
 	scratch core.Match
+	block   *graph.EpochSet // reusable data block, refilled per unit
 }
 
-func newUnitDetector(g *graph.Graph, snap *graph.Snapshot) *unitDetector {
+func newUnitDetector(snap *graph.Snapshot) *unitDetector {
 	return &unitDetector{
-		g:   g,
-		m:   match.NewMatcher(snap),
-		pin: make(map[int]graph.NodeID, 2),
+		m:     match.NewMatcher(snap),
+		pin:   make(map[int]graph.NodeID, 2),
+		block: graph.NewEpochSet(snap.NumNodes()),
 	}
+}
+
+// fillBlock assembles the unit's data block G_z̄ into the detector's
+// reusable EpochSet: the union of the c_i-hop neighborhoods of the pivot
+// candidates, with zero steady-state allocation (the hash-set-per-unit it
+// replaces dominated the detection phase's allocations).
+func (d *unitDetector) fillBlock(u workUnit) *graph.EpochSet {
+	d.block.Reset()
+	snap := d.m.Snapshot()
+	for i, v := range u.Candidates {
+		snap.BlockInto(d.block, v, u.Unit.Pivot.Radii[i])
+	}
+	return d.block
 }
 
 // detect enumerates the matches of the unit's group pattern inside the
@@ -134,7 +149,7 @@ func newUnitDetector(g *graph.Graph, snap *graph.Snapshot) *unitDetector {
 // patterns whose mirrored units were deduplicated, both pin orders are
 // enumerated so the full match set is preserved.
 func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, out *Report) {
-	block := u.BlockSnap(d.m.Snapshot())
+	block := d.fillBlock(u)
 	runPins := func(c0, c1 graph.NodeID, both bool) {
 		clear(d.pin)
 		if both {
@@ -153,7 +168,7 @@ func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, out *Rep
 			StripeNode: stripeNode(grp, u),
 		}
 		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
-			grp.checkMatch(d.g, m, &d.scratch, out)
+			grp.checkMatch(d.m.Snapshot(), m, &d.scratch, out)
 			return true
 		})
 	}

@@ -105,8 +105,11 @@ func identityPerm(n int) []int {
 // checkMatch evaluates every dependency of the group against a group-level
 // match, appending violations (with matches remapped to each rule's own
 // node order). The remapped match is staged in *scratch so the per-match
-// hot path allocates only when a violation is actually recorded.
-func (grp *ruleGroup) checkMatch(g *graph.Graph, m core.Match, scratch *core.Match, out *Report) {
+// hot path allocates only when a violation is actually recorded. Literal
+// checking runs each rule's compiled program against the shared snapshot's
+// interned attribute arena (ProgramFor is a cached pointer compare in the
+// steady state).
+func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *core.Match, out *Report) {
 	for _, d := range grp.deps {
 		rm := *scratch
 		if cap(rm) < len(d.perm) {
@@ -117,7 +120,7 @@ func (grp *ruleGroup) checkMatch(g *graph.Graph, m core.Match, scratch *core.Mat
 		for i, gi := range d.perm {
 			rm[i] = m[gi]
 		}
-		if d.rule.IsViolation(g, rm) {
+		if d.rule.ProgramFor(snap.Syms()).IsViolation(snap, rm) {
 			*out = append(*out, Violation{Rule: d.rule.Name, Match: append(core.Match(nil), rm...)})
 		}
 	}

@@ -68,7 +68,7 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 	perWorker := make([]Report, opt.N)
 	busy := cl.RunMeasured(func(w int) {
 		var out Report
-		det := newUnitDetector(g, snap)
+		det := newUnitDetector(snap)
 		for _, ui := range assign[w] {
 			u := units[ui]
 			det.detect(groups[u.group], u, !opt.NoOptimize, &out)

@@ -19,8 +19,9 @@ var ErrTimeout = errors.New("validate: sequential detection timed out")
 // those violating X → Y. It is the correctness reference for the parallel
 // engines, and exponential in the worst case.
 //
-// The graph is frozen once (Graph.Freeze) and every rule's enumeration
-// runs over the compiled snapshot.
+// The graph is frozen once (Graph.Freeze); every rule's enumeration runs
+// over the compiled snapshot and its X → Y check over the rule's literal
+// program lowered onto the snapshot's symbol table.
 func DetVio(g *graph.Graph, set *core.Set) Report {
 	r, _ := DetVioCtx(context.Background(), g, set)
 	return r
@@ -30,15 +31,17 @@ func DetVio(g *graph.Graph, set *core.Set) Report {
 // matches.
 func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, error) {
 	var out Report
-	m := match.NewMatcher(g.Freeze())
+	snap := g.Freeze()
+	m := match.NewMatcher(snap)
 	for _, f := range set.Rules() {
+		p := f.ProgramFor(snap.Syms())
 		var err error
 		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
 			if ctx.Err() != nil {
 				err = ErrTimeout
 				return false
 			}
-			if f.IsViolation(g, h) {
+			if p.IsViolation(snap, h) {
 				out = append(out, Violation{Rule: f.Name, Match: append(core.Match(nil), h...)})
 			}
 			return true
@@ -54,11 +57,13 @@ func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, erro
 // Satisfies reports G |= Σ, i.e. whether the violation set is empty — the
 // validation problem of Proposition 9.
 func Satisfies(g *graph.Graph, set *core.Set) bool {
-	m := match.NewMatcher(g.Freeze())
+	snap := g.Freeze()
+	m := match.NewMatcher(snap)
 	for _, f := range set.Rules() {
+		p := f.ProgramFor(snap.Syms())
 		violated := false
 		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
-			if f.IsViolation(g, h) {
+			if p.IsViolation(snap, h) {
 				violated = true
 				return false
 			}
