@@ -162,7 +162,7 @@ func BenchmarkFig8Skew(b *testing.B) {
 		clean := gen.Synthetic(gen.SyntheticConfig{Nodes: 2500, Edges: 5000, Skew: skew, Seed: 42})
 		set := gen.MineGFDs(clean, gen.MineConfig{NumRules: 6, PatternSize: 4, Seed: 44})
 		gen.Inject(clean, gen.NoiseConfig{Rate: 0.02, Seed: 43})
-		w := exp.Workload{G: clean, Set: set}
+		w := exp.NewWorkload(clean, set)
 		for _, alg := range []string{"disVal", "disran", "disnop"} {
 			b.Run(fmt.Sprintf("skew=%.1f/%s", skew, alg), func(b *testing.B) {
 				var res *validate.Result
@@ -209,6 +209,38 @@ func BenchmarkSequentialVsParallel(b *testing.B) {
 	b.Run("repVal-n16", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			validate.RepVal(w.G, w.Set, validate.Options{N: 16})
+		}
+	})
+}
+
+// BenchmarkSessionReuse is the prepared-session payoff benchmark: warm
+// Detect rounds on one Prepared (freeze, reduction, grouping and rule
+// lowering all amortized) against the cold free-function path on a fresh
+// graph copy per call (cloning excluded from the timing). The gfdbench
+// `sessionreuse` experiment emits the same comparison as JSON for the
+// benchdiff gate.
+func BenchmarkSessionReuse(b *testing.B) {
+	w := exp.Prepare(benchConfig("yago2"))
+	opt := gfd.Options{Engine: gfd.EngineReplicated, N: 8}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gc := w.G.Clone()
+			b.StartTimer()
+			gfd.ValidateParallel(gc, w.Set, opt)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		prep := w.Prepared()
+		ctx := context.Background()
+		if _, err := prep.Detect(ctx, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Detect(ctx, opt); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -262,7 +294,7 @@ func BenchmarkAblationPivot(b *testing.B) {
 func BenchmarkAblationSplitThreshold(b *testing.B) {
 	clean := gen.Synthetic(gen.SyntheticConfig{Nodes: 2500, Edges: 6000, Skew: 0.9, Seed: 7})
 	set := gen.MineGFDs(clean, gen.MineConfig{NumRules: 5, PatternSize: 4, Seed: 8})
-	w := exp.Workload{G: clean, Set: set}
+	w := exp.NewWorkload(clean, set)
 	for _, theta := range []int{-1, 0, 64, 256} {
 		name := fmt.Sprintf("theta=%d", theta)
 		if theta == -1 {

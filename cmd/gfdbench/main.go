@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|all")
+		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|all")
 		scale   = flag.Int("scale", 250, "dataset scale")
 		rules   = flag.Int("rules", 8, "rule count ‖Σ‖")
 		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
@@ -111,6 +111,11 @@ func main() {
 			fmt.Println()
 			return rows
 		},
+		"sessionreuse": func() any {
+			t := exp.SessionReuse(base("yago2"), 5)
+			fmt.Println(t)
+			return t
+		},
 		"speedup": func() any {
 			fmt.Println("Exp-1 — parallel speedup n=4 -> n=20")
 			out := map[string]map[string]float64{}
@@ -132,7 +137,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

@@ -1,16 +1,20 @@
 // gfdcheck validates a property graph against a set of GFD rules and
-// reports the violation set Vio(Σ, G).
+// reports the violation set Vio(Σ, G). It demonstrates the intended
+// lifecycle: read the graph, open a Session, Prepare the rules once, then
+// Detect (or Stream) with the selected engine.
 //
 // Usage:
 //
-//	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis] [-n 8] [-v]
+//	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis|gcfd|bigdansing] [-n 8] [-v] [-stream] [-timeout 30s]
 //
 // The graph file uses the line format of package graph (node/edge lines);
 // the rules file uses the gfd block format (see README.md). Exit status is
-// 0 when the graph satisfies Σ, 1 when violations were found, 2 on errors.
+// 0 when the graph satisfies Σ, 1 when violations were found, 2 on errors
+// (including a -timeout expiry).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,13 +22,24 @@ import (
 	"gfd"
 )
 
+// engines maps -mode values to the session engine selector.
+var engines = map[string]gfd.Engine{
+	"seq":        gfd.EngineSequential,
+	"rep":        gfd.EngineReplicated,
+	"dis":        gfd.EngineFragmented,
+	"gcfd":       gfd.EngineGCFD,
+	"bigdansing": gfd.EngineBigDansing,
+}
+
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file (required)")
 		rulesPath = flag.String("rules", "", "GFD rules file (required)")
-		mode      = flag.String("mode", "rep", "engine: seq (detVio), rep (repVal), dis (disVal)")
+		mode      = flag.String("mode", "rep", "engine: seq (detVio), rep (repVal), dis (disVal), gcfd, bigdansing")
 		workers   = flag.Int("n", 8, "workers for the parallel engines")
 		verbose   = flag.Bool("v", false, "print each violation")
+		stream    = flag.Bool("stream", false, "print violations as they are found instead of collecting a report (implies -v)")
+		timeout   = flag.Duration("timeout", 0, "abort detection after this long (0 = no limit)")
 		doCheck   = flag.Bool("check-rules", true, "check rule-set satisfiability before validating")
 		doReduce  = flag.Bool("reduce", false, "drop implied rules before validating")
 	)
@@ -32,6 +47,10 @@ func main() {
 	if *graphPath == "" || *rulesPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	engine, ok := engines[*mode]
+	if !ok {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
 	g, names, err := readGraph(*graphPath)
@@ -56,39 +75,69 @@ func main() {
 		fmt.Printf("reduction: %d -> %d rules\n", before, set.Len())
 	}
 
-	var report gfd.Report
-	switch *mode {
-	case "seq":
-		report = gfd.Validate(g, set)
-	case "rep":
-		res := gfd.ValidateParallel(g, set, gfd.Options{N: *workers})
-		report = res.Violations
-		fmt.Printf("repVal: %d units over %d workers, wall %v\n", res.Units, *workers, res.Wall.Round(0))
-	case "dis":
-		frag := gfd.Partition(g, *workers)
-		res := gfd.ValidateFragmented(g, frag, set, gfd.Options{N: *workers})
-		report = res.Violations
-		fmt.Printf("disVal: %d units, shipped %d bytes, comm %v, total %v\n",
-			res.Units, res.BytesShipped, res.Comm.Round(0), res.TotalTime().Round(0))
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	// The session lifecycle: prepare once, detect with any engine. A
+	// long-running checker would keep sess and prep alive across requests
+	// and graph updates; here one invocation is one Detect.
+	sess := gfd.NewSession(g)
+	prep, err := sess.Prepare(set)
+	if err != nil {
+		fatal(err)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := gfd.Options{Engine: engine, N: *workers}
 
 	rev := make(map[gfd.NodeID]string, len(names))
 	for name, id := range names {
 		rev[id] = name
 	}
-	fmt.Printf("violations: %d\n", len(report))
-	if *verbose {
-		for _, v := range report {
-			fmt.Printf("  %s:", v.Rule)
-			for _, n := range v.Nodes() {
-				fmt.Printf(" %s(%s)", rev[n], g.Label(n))
-			}
-			fmt.Println()
+	printViolation := func(v gfd.Violation) {
+		fmt.Printf("  %s:", v.Rule)
+		for _, n := range v.Nodes() {
+			fmt.Printf(" %s(%s)", rev[n], g.Label(n))
 		}
+		fmt.Println()
 	}
-	if len(report) > 0 {
+
+	var nViolations int
+	if *stream {
+		count := 0
+		err := prep.Stream(ctx, opt, func(v gfd.Violation) bool {
+			count++
+			printViolation(v)
+			return true
+		})
+		if err != nil {
+			fatal(fmt.Errorf("detection aborted: %w", err))
+		}
+		nViolations = count
+	} else {
+		res, err := prep.Detect(ctx, opt)
+		if err != nil {
+			fatal(fmt.Errorf("detection aborted: %w", err))
+		}
+		switch engine {
+		case gfd.EngineReplicated:
+			fmt.Printf("repVal: %d units over %d workers, wall %v\n", res.Units, *workers, res.Wall.Round(0))
+		case gfd.EngineFragmented:
+			fmt.Printf("disVal: %d units, shipped %d bytes, comm %v, total %v\n",
+				res.Units, res.BytesShipped, res.Comm.Round(0), res.TotalTime().Round(0))
+		case gfd.EngineGCFD:
+			fmt.Printf("gcfd: %d of %d rules expressible, wall %v\n", res.Rules, set.Len(), res.Wall.Round(0))
+		}
+		if *verbose {
+			for _, v := range res.Violations {
+				printViolation(v)
+			}
+		}
+		nViolations = len(res.Violations)
+	}
+	fmt.Printf("violations: %d\n", nViolations)
+	if nViolations > 0 {
 		os.Exit(1)
 	}
 }

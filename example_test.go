@@ -1,11 +1,58 @@
 package gfd_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"gfd"
 )
+
+// ExampleSession demonstrates the prepared-session lifecycle: build a
+// graph, prepare a rule set once, then detect and stream with any engine
+// — freeze and rule lowering are paid once across every call.
+func ExampleSession() {
+	q := gfd.NewPattern()
+	x := q.AddNode("x", "country")
+	y := q.AddNode("y", "city")
+	z := q.AddNode("z", "city")
+	q.AddEdge(x, y, "capital")
+	q.AddEdge(x, z, "capital")
+	phi := gfd.MustGFD("one_capital", q, nil,
+		[]gfd.Literal{gfd.VarEq("y", "val", "z", "val")})
+
+	g := gfd.NewGraph(0, 0)
+	au := g.AddNode("country", gfd.Attrs{"val": "Australia"})
+	c1 := g.AddNode("city", gfd.Attrs{"val": "Canberra"})
+	c2 := g.AddNode("city", gfd.Attrs{"val": "Melbourne"})
+	g.MustAddEdge(au, c1, "capital")
+	g.MustAddEdge(au, c2, "capital")
+
+	ctx := context.Background()
+	sess := gfd.NewSession(g)
+	prep, _ := sess.Prepare(gfd.MustSet(phi))
+
+	seq, _ := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineSequential})
+	par, _ := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineReplicated, N: 4})
+	fmt.Println("sequential:", len(seq.Violations), "parallel:", len(par.Violations))
+
+	// Stream delivers violations as found; returning false stops early.
+	streamed := 0
+	_ = prep.Stream(ctx, gfd.Options{}, func(gfd.Violation) bool {
+		streamed++
+		return false
+	})
+	fmt.Println("streamed before stop:", streamed)
+
+	// Mutation invalidates the prepared state; the next Detect re-freezes.
+	g.SetAttr(c2, "val", "Canberra")
+	after, _ := prep.Detect(ctx, gfd.Options{})
+	fmt.Println("after repair:", len(after.Violations))
+	// Output:
+	// sequential: 2 parallel: 2
+	// streamed before stop: 1
+	// after repair: 0
+}
 
 // ExampleValidate demonstrates the one-capital rule catching the
 // Canberra/Melbourne inconsistency from the paper's introduction.

@@ -1,9 +1,16 @@
 // Quickstart: define a GFD, build a small graph, and detect violations —
 // the Canberra/Melbourne "two capitals" inconsistency from the paper's
-// introduction.
+// introduction — through the intended lifecycle:
+//
+//	build graph -> NewSession -> Prepare -> Detect / Stream
+//
+// The session owns the compiled state (the frozen snapshot and the
+// lowered rules); Detect and Stream run any engine from it, and mutating
+// the graph re-prepares automatically on the next call.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"gfd"
@@ -36,9 +43,22 @@ func main() {
 	paris := g.AddNode("city", gfd.Attrs{"val": "Paris"})
 	g.MustAddEdge(fr, paris, "capital")
 
-	// Sequential validation returns every violating match.
-	set := gfd.MustSet(phi2)
-	for _, v := range gfd.Validate(g, set) {
+	// Prepare once: the graph is frozen into its compiled snapshot and
+	// every rule is lowered onto it. All later Detect/Stream calls reuse
+	// those artifacts.
+	ctx := context.Background()
+	sess := gfd.NewSession(g)
+	prep, err := sess.Prepare(gfd.MustSet(phi2))
+	if err != nil {
+		panic(err)
+	}
+
+	// Sequential detection returns every violating match.
+	res, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineSequential})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range res.Violations {
 		fmt.Printf("violation of %s:", v.Rule)
 		for _, node := range v.Nodes() {
 			val, _ := g.Attr(node, "val")
@@ -48,8 +68,32 @@ func main() {
 	}
 
 	// The same detection, parallel over 4 workers with the graph
-	// replicated (the paper's repVal).
-	res := gfd.ValidateParallel(g, set, gfd.Options{N: 4})
+	// replicated (the paper's repVal) — same prepared state, different
+	// engine.
+	par, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineReplicated, N: 4})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("parallel: %d violations across %d work units in %v\n",
-		len(res.Violations), res.Units, res.Wall.Round(0))
+		len(par.Violations), par.Units, par.Wall.Round(0))
+
+	// Stream delivers violations as they are found — no report is
+	// materialized, and returning false stops detection early.
+	first := true
+	_ = prep.Stream(ctx, gfd.Options{Engine: gfd.EngineSequential}, func(v gfd.Violation) bool {
+		fmt.Printf("streamed first violation: %s\n", v.Rule)
+		first = false
+		return first // stop after one
+	})
+
+	// Mutating the graph invalidates the prepared state; the next Detect
+	// re-freezes and re-lowers automatically. Fixing Melbourne's capital
+	// edge away resolves nothing (the edge stays), but renaming the city
+	// to Canberra satisfies y.val = z.val.
+	g.SetAttr(melbourne, "val", "Canberra")
+	res, err = prep.Detect(ctx, gfd.Options{Engine: gfd.EngineSequential})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after repair: %d violations\n", len(res.Violations))
 }

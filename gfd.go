@@ -5,21 +5,48 @@
 // A GFD ϕ = (Q[x̄], X → Y) combines a topological constraint — a graph
 // pattern Q matched by subgraph isomorphism — with an attribute dependency
 // X → Y whose literals are x.A = c (constant, as in CFDs) or x.A = y.B
-// (variable, as in FDs). The package provides:
+// (variable, as in FDs).
 //
-//   - the property-graph model and a text format (NewGraph, ReadGraph),
-//     plus the compiled execution view Graph.Freeze -> Snapshot that the
-//     matching and validation hot paths run against;
+// # The prepared-session lifecycle
+//
+// Detection follows the prepared-statement idiom: build a graph, open a
+// Session on it, Prepare a rule set once, then Detect or Stream any
+// number of times:
+//
+//	sess := gfd.NewSession(g)
+//	prep, err := sess.Prepare(set)
+//	res, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineReplicated, N: 16})
+//	err = prep.Stream(ctx, gfd.Options{}, func(v gfd.Violation) bool { ... ; return true })
+//
+// Prepare freezes the graph into its compiled CSR Snapshot and lowers
+// every rule (pattern labels and X → Y literals) onto the frozen symbol
+// table; Detect dispatches on Options.Engine to the paper's engines —
+// detVio (EngineSequential), repVal (EngineReplicated, Theorem 10),
+// disVal (EngineFragmented, Theorem 11) — or the Exp-5 baselines
+// (EngineGCFD, EngineBigDansing), all running from the same prepared
+// artifacts. Freeze, workload reduction, grouping and rule lowering are
+// paid once per (graph version, rule set) across every round; mutating
+// the graph re-prepares automatically, exactly once per new version.
+// Stream delivers violations as they are found instead of materializing
+// the report, and every engine honors context cancellation.
+//
+// The package also provides:
+//
+//   - the property-graph model and a text format (NewGraph, ReadGraph);
 //   - pattern construction and the GFD rule language (NewPattern, NewGFD,
 //     ParseRules);
 //   - the classical static analyses: Satisfiable and Implies, plus the
 //     implication-based rule-set Reduce;
-//   - error detection: sequential Validate, parallel ValidateParallel
-//     (replicated graphs, Theorem 10) and ValidateFragmented (partitioned
-//     graphs, Theorem 11), all returning the violation set Vio(Σ, G);
 //   - workload tooling: Partition for fragmenting graphs, MineGFDs for
 //     generating rules from frequent graph features, and the generators
-//     and noise injection used by the reproduction benchmarks.
+//     and noise injection used by the reproduction benchmarks;
+//   - maintenance extensions: incremental detection (Session.Incremental
+//     / NewIncremental) and repair suggestions (SuggestRepairs).
+//
+// The free functions Validate, ValidateParallel, ValidateFragmented and
+// Satisfies predate the session API and remain as thin wrappers over a
+// one-shot session; new code should prepare a session instead (see the
+// deprecation notes on each).
 //
 // See README.md for a quickstart and DESIGN.md for the system inventory.
 package gfd
@@ -36,6 +63,7 @@ import (
 	"gfd/internal/pattern"
 	"gfd/internal/reason"
 	"gfd/internal/repair"
+	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -75,10 +103,20 @@ type (
 	Violation = validate.Violation
 	// Report is a violation set Vio(Σ, G).
 	Report = validate.Report
-	// Options configures the parallel validators.
+	// Options configures detection: the engine to run (Options.Engine)
+	// and the parallel engines' knobs.
 	Options = validate.Options
 	// Result carries violations plus engine instrumentation.
 	Result = validate.Result
+	// Engine selects the detection algorithm Prepared.Detect runs.
+	Engine = validate.Engine
+
+	// Session owns a graph and its compiled execution caches; open one
+	// with NewSession, then Prepare rule sets against it.
+	Session = session.Session
+	// Prepared is a rule set compiled against a session's graph: Detect
+	// and Stream run any engine from the prepared artifacts.
+	Prepared = session.Prepared
 
 	// Fragmentation is an n-way partition of a graph across workers.
 	Fragmentation = fragment.Fragmentation
@@ -89,6 +127,24 @@ type (
 
 // Wildcard is the pattern label '_' matching any node or edge label.
 const Wildcard = pattern.Wildcard
+
+// Engine values for Options.Engine: the paper's three detection
+// algorithms plus the two Exp-5 baselines. EngineAuto (the zero value)
+// resolves to EngineReplicated.
+const (
+	EngineAuto       = validate.EngineAuto
+	EngineSequential = validate.EngineSequential
+	EngineReplicated = validate.EngineReplicated
+	EngineFragmented = validate.EngineFragmented
+	EngineGCFD       = validate.EngineGCFD
+	EngineBigDansing = validate.EngineBigDansing
+)
+
+// NewSession opens a prepared session on g — the entry point of the
+// build → NewSession → Prepare → Detect/Stream lifecycle. The graph
+// stays owned by the caller; the session pays freeze and rule-lowering
+// costs once per graph version and rule set.
+func NewSession(g *Graph) *Session { return session.New(g) }
 
 // NewGraph returns an empty graph with capacity hints.
 func NewGraph(nodeHint, edgeHint int) *Graph { return graph.New(nodeHint, edgeHint) }
@@ -163,34 +219,79 @@ func Implies(s *Set, f *GFD) bool { return reason.Implies(s, f) }
 // reduction optimization.
 func Reduce(s *Set) *Set { return reason.Reduce(s) }
 
+// oneShot prepares a throwaway session for the legacy free functions.
+// Prepare only fails on a nil set, which the old entry points would have
+// crashed on anyway.
+func oneShot(g *Graph, s *Set) *Prepared {
+	p, err := session.New(g).Prepare(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Validate runs the sequential detector detVio and returns Vio(Σ, G).
-func Validate(g *Graph, s *Set) Report { return validate.DetVio(g, s) }
+//
+// Deprecated: Validate builds a one-shot session per call. Callers
+// validating the same graph more than once should use NewSession /
+// Session.Prepare and Detect with EngineSequential.
+func Validate(g *Graph, s *Set) Report {
+	res, _ := oneShot(g, s).Detect(context.Background(), Options{Engine: EngineSequential})
+	return res.Violations
+}
 
 // ValidateCtx is Validate with cancellation (the sequential algorithm can
 // run for a very long time on large graphs).
+//
+// Deprecated: see Validate; Prepared.Detect takes a context for every
+// engine.
 func ValidateCtx(ctx context.Context, g *Graph, s *Set) (Report, error) {
 	return validate.DetVioCtx(ctx, g, s)
 }
 
-// Satisfies reports G |= Σ: no rule has a violation.
-func Satisfies(g *Graph, s *Set) bool { return validate.Satisfies(g, s) }
+// Satisfies reports G |= Σ: no rule has a violation. It stops at the
+// first violation found.
+//
+// Deprecated: see Validate; with a session, Stream with a yield that
+// returns false is the early-stopping equivalent.
+func Satisfies(g *Graph, s *Set) bool {
+	violated := false
+	_ = oneShot(g, s).Stream(context.Background(), Options{Engine: EngineSequential},
+		func(Violation) bool { violated = true; return false })
+	return !violated
+}
 
 // ValidateParallel runs repVal: parallel scalable detection over a graph
 // replicated at every worker.
+//
+// Deprecated: ValidateParallel builds a one-shot session per call.
+// Callers validating the same graph more than once should use NewSession
+// / Session.Prepare and Detect with EngineReplicated.
 func ValidateParallel(g *Graph, s *Set, opt Options) *Result {
-	return validate.RepVal(g, s, opt)
+	opt.Engine = EngineReplicated
+	res, _ := oneShot(g, s).Detect(context.Background(), opt)
+	return res
 }
 
 // Partition fragments a graph into n fragments by node hashing, for
-// ValidateFragmented.
+// ValidateFragmented (a session caches these per graph version when
+// Options.Frag is left nil).
 func Partition(g *Graph, n int) *Fragmentation {
 	return fragment.Partition(g, n, fragment.Hash)
 }
 
 // ValidateFragmented runs disVal: parallel detection over a fragmented
 // graph, balancing load and minimizing simulated data shipment.
+//
+// Deprecated: ValidateFragmented builds a one-shot session per call.
+// Callers validating the same graph more than once should use NewSession
+// / Session.Prepare and Detect with EngineFragmented (Options.Frag
+// optional).
 func ValidateFragmented(g *Graph, frag *Fragmentation, s *Set, opt Options) *Result {
-	return validate.DisVal(g, frag, s, opt)
+	opt.Engine = EngineFragmented
+	opt.Frag = frag
+	res, _ := oneShot(g, s).Detect(context.Background(), opt)
+	return res
 }
 
 // MineConfig configures rule mining.
@@ -215,7 +316,10 @@ type (
 )
 
 // NewIncremental builds an incremental detector with an initial full
-// validation of g against Σ.
+// validation of g against Σ. Session.Incremental is the session-aware
+// equivalent: it shares one attribute index across detectors, and
+// updates applied through the detector invalidate the session's prepared
+// rule sets so their next Detect re-freezes.
 func NewIncremental(g *Graph, s *Set) *IncrementalDetector { return incremental.New(g, s) }
 
 // RepairSuggestion is one proposed attribute fix derived from a violation

@@ -2,6 +2,7 @@ package gfd_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -139,6 +140,53 @@ func TestFig7ParallelEnginesAgree(t *testing.T) {
 	dis := gfd.ValidateFragmented(g, frag, set, gfd.Options{N: 4})
 	if !dis.Violations.Equal(want) {
 		t.Errorf("ValidateFragmented diverges: %d vs %d", len(dis.Violations), len(want))
+	}
+}
+
+// TestSessionPublicAPI drives the session lifecycle through the facade:
+// every engine constant agrees with the deprecated free functions on the
+// Fig. 7 workload, and one graph version means one freeze across all of
+// them.
+func TestSessionPublicAPI(t *testing.T) {
+	g := fig7Graph(t)
+	set := gfd.MustSet(gfd1(t), gfd2(t), gfd3(t))
+	want := gfd.Validate(g, set)
+
+	sess := gfd.NewSession(g)
+	prep, err := sess.Prepare(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, engine := range []gfd.Engine{gfd.EngineAuto, gfd.EngineSequential, gfd.EngineReplicated, gfd.EngineFragmented} {
+		res, err := prep.Detect(ctx, gfd.Options{Engine: engine, N: 4})
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if !res.Violations.Equal(want) {
+			t.Errorf("engine %v diverges from Validate: %d vs %d", engine, len(res.Violations), len(want))
+		}
+	}
+	// BigDansing evaluates the same rules relationally — same answers.
+	res, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineBigDansing, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violations.Equal(want) {
+		t.Errorf("EngineBigDansing diverges: %d vs %d", len(res.Violations), len(want))
+	}
+	var streamed gfd.Report
+	if err := prep.Stream(ctx, gfd.Options{}, func(v gfd.Violation) bool {
+		streamed = append(streamed, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !streamed.Equal(want) {
+		t.Errorf("Stream diverges: %d vs %d", len(streamed), len(want))
+	}
+	if builds := g.SnapshotBuilds(); builds != 1 {
+		t.Errorf("snapshot builds = %d across all engines, want 1", builds)
 	}
 }
 

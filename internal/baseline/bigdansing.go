@@ -1,7 +1,9 @@
 package baseline
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"gfd/internal/core"
 	"gfd/internal/graph"
@@ -54,6 +56,25 @@ type binding []graph.NodeID
 // coincide with the GFD engine's; only the evaluation strategy (and its
 // intermediate sizes) differs.
 func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate.Report {
+	var out validate.Report
+	var mu sync.Mutex
+	_ = DetectJoinsB(context.Background(), validate.NewBundle(g, set), rel, n, func(v validate.Violation) bool {
+		mu.Lock()
+		out = append(out, v)
+		mu.Unlock()
+		return true
+	})
+	out.Sort()
+	return out
+}
+
+// DetectJoinsB is DetectJoins over a prepared bundle with cooperative
+// cancellation and streaming delivery: emit receives violations as the
+// join pipelines find them (concurrently — emissions are not serialized
+// here; wrap emit when ordering matters), returning false stops every
+// worker, and a cancelled context aborts with its error. The session
+// layer runs EngineBigDansing through it.
+func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n int, emit func(validate.Violation) bool) error {
 	if n < 1 {
 		n = 1
 	}
@@ -61,35 +82,57 @@ func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate
 	// final X → Y filter runs each rule's compiled literal program against
 	// the frozen attribute arena (the join pipeline itself — the part the
 	// comparison measures — stays relational).
-	snap := g.Freeze()
-	var out validate.Report
-	for _, f := range set.Rules() {
-		out = append(out, detectOneJoin(g, snap, rel, f, n)...)
+	snap := b.Snapshot()
+	for _, f := range b.Set().Rules() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, emit) {
+			break
+		}
 	}
-	out.Sort()
-	return out
+	return ctx.Err()
 }
 
-func detectOneJoin(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, n int) validate.Report {
+// detectOneJoin runs one rule's join pipeline; it returns false when emit
+// stopped the detection.
+func detectOneJoin(ctx context.Context, g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) bool {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
-		return nil
+		return true
 	}
-	prog := f.ProgramFor(snap.Syms())
 	plan := joinPlan(q)
 
 	// Outer scan: the first plan step's tuples, split across n workers.
+	// Workers share one stop flag: an emit refusal or context expiry seen
+	// by any of them halts the rest at their next outer tuple.
 	firstTuples := stepTuples(rel, q, plan[0])
 	chunks := splitChunks(len(firstTuples), n)
-	results := make([]validate.Report, n)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var local validate.Report
-			for _, ti := range chunks[w] {
+			wEmit := func(v validate.Violation) bool {
+				if stop.Load() {
+					return false
+				}
+				if !emit(v) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			}
+			for i, ti := range chunks[w] {
+				if stop.Load() {
+					return
+				}
+				if i%64 == 0 && ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
 				b := make(binding, nNodes)
 				for i := range b {
 					b[i] = graph.Invalid
@@ -100,17 +143,14 @@ func detectOneJoin(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *cor
 				if !labelsOK(g, q, plan[0], b) {
 					continue
 				}
-				joinRest(g, snap, rel, f, prog, plan, 1, b, &local)
+				if !joinRest(g, snap, rel, f, prog, plan, 1, b, wEmit) {
+					return
+				}
 			}
-			results[w] = local
 		}(w)
 	}
 	wg.Wait()
-	var out validate.Report
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
+	return !stop.Load()
 }
 
 // planStep is one join step: either a pattern edge or an isolated node
@@ -193,10 +233,11 @@ func bindNode(q *pattern.Pattern, b binding, pv int, g graph.NodeID) bool {
 	return true
 }
 
-func joinRest(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, out *validate.Report) {
+// joinRest extends the binding through the remaining plan steps; it
+// returns false when emit stopped the detection.
+func joinRest(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, emit func(validate.Violation) bool) bool {
 	if depth == len(plan) {
-		finishBinding(snap, f, prog, b, out)
-		return
+		return finishBinding(snap, f, prog, b, emit)
 	}
 	s := plan[depth]
 	for _, t := range stepTuples(rel, f.Q, s) {
@@ -207,8 +248,11 @@ func joinRest(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD
 		if !labelsOK(g, f.Q, s, nb) {
 			continue
 		}
-		joinRest(g, snap, rel, f, prog, plan, depth+1, nb, out)
+		if !joinRest(g, snap, rel, f, prog, plan, depth+1, nb, emit) {
+			return false
+		}
 	}
+	return true
 }
 
 // labelsOK applies the node-label selection predicates for the nodes the
@@ -226,22 +270,24 @@ func labelsOK(g *graph.Graph, q *pattern.Pattern, s planStep, b binding) bool {
 }
 
 // finishBinding applies the hand-coded isomorphism filter (pairwise
-// distinctness) and the compiled dependency check.
-func finishBinding(snap *graph.Snapshot, f *core.GFD, prog *core.LiteralProgram, b binding, out *validate.Report) {
+// distinctness) and the compiled dependency check; it returns false when
+// emit stopped the detection.
+func finishBinding(snap *graph.Snapshot, f *core.GFD, prog *core.LiteralProgram, b binding, emit func(validate.Violation) bool) bool {
 	for i := 0; i < len(b); i++ {
 		if b[i] == graph.Invalid {
-			return
+			return true
 		}
 		for j := i + 1; j < len(b); j++ {
 			if b[i] == b[j] {
-				return
+				return true
 			}
 		}
 	}
 	m := core.Match(b)
 	if prog.IsViolation(snap, m) {
-		*out = append(*out, validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
+		return emit(validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
 	}
+	return true
 }
 
 func splitChunks(total, n int) [][]int {

@@ -14,6 +14,9 @@
 package baseline
 
 import (
+	"context"
+	"sync"
+
 	"gfd/internal/core"
 	"gfd/internal/graph"
 	"gfd/internal/match"
@@ -26,6 +29,21 @@ type GCFD struct {
 	Name string
 	Path *pattern.Pattern // a simple directed path
 	X, Y []core.Literal
+
+	once sync.Once
+	rule *core.GFD // the GFD encoding, compiled once per GCFD
+}
+
+// compiled returns the GCFD's GFD encoding, built lazily so that
+// hand-constructed GCFDs work and repeated Detect calls stop re-encoding
+// the rule (its pattern and literal lowerings are memoized on the GFD).
+func (c *GCFD) compiled() *core.GFD {
+	c.once.Do(func() {
+		if c.rule == nil {
+			c.rule = core.MustNew(c.Name, c.Path, c.X, c.Y)
+		}
+	})
+	return c.rule
 }
 
 // FromGFD converts a GFD into a GCFD when expressible. A GCFD is a CFD
@@ -59,7 +77,10 @@ func FromGFD(f *core.GFD) (*GCFD, bool) {
 	default:
 		return nil, false
 	}
-	return &GCFD{Name: f.Name, Path: f.Q, X: f.X, Y: f.Y}, true
+	// The converted GCFD shares the source GFD as its compiled encoding
+	// (the scope and dependency are unchanged), so pattern and literal
+	// lowerings memoized on the rule are shared with the GFD engine.
+	return &GCFD{Name: f.Name, Path: f.Q, X: f.X, Y: f.Y, rule: f}, true
 }
 
 // subPathPattern extracts the sub-pattern induced by a component's nodes,
@@ -130,18 +151,51 @@ func isSimplePath(q *pattern.Pattern) bool {
 // accuracy is directly comparable.
 func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 	var out validate.Report
-	snap := g.Freeze()
+	_ = DetectB(context.Background(), validate.NewBundle(g, core.MustNewSet()), rules, func(v validate.Violation) bool {
+		out = append(out, v)
+		return true
+	})
+	out.Sort()
+	return out
+}
+
+// DetectB is Detect over a prepared bundle with cooperative cancellation
+// and streaming delivery: violations go to emit as they are found
+// (unsorted), enumeration stops when emit returns false, and a cancelled
+// context aborts with its error (checked between rules and, strided,
+// between matches). The session layer runs EngineGCFD through it so a
+// prepared rule conversion is validated without re-freezing or
+// re-encoding anything.
+func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(validate.Violation) bool) error {
+	snap := b.Snapshot()
 	m := match.NewMatcher(snap)
+	aborted := false
+	checked := 0
 	for _, c := range rules {
-		f := core.MustNew(c.Name, c.Path, c.X, c.Y)
-		p := f.ProgramFor(snap.Syms())
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := b.Program(c.compiled())
+		stopped := false
 		m.Enumerate(c.Path, match.Options{}, func(h core.Match) bool {
+			if checked++; checked%64 == 0 && ctx.Err() != nil {
+				aborted = true
+				return false
+			}
 			if p.IsViolation(snap, h) {
-				out = append(out, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)})
+				if !emit(validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)}) {
+					stopped = true
+					return false
+				}
 			}
 			return true
 		})
+		if aborted {
+			return ctx.Err()
+		}
+		if stopped {
+			return nil
+		}
 	}
-	out.Sort()
-	return out
+	return nil
 }

@@ -12,15 +12,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"gfd/internal/core"
-	"gfd/internal/fragment"
 	"gfd/internal/gen"
 	"gfd/internal/graph"
+	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -93,20 +94,50 @@ func (c Config) Mine(clean *graph.Graph) *core.Set {
 	})
 }
 
-// Workload bundles a prepared graph + rule set.
+// Workload bundles a graph + rule set behind one prepared session, so an
+// entire sweep — every round, every worker count, all six algorithm
+// variants — shares a single freeze, workload reduction, grouping and
+// rule lowering. Construct it with NewWorkload (or Prepare); the zero
+// value and struct literals still work but fall back to a one-shot
+// session per RunAlgorithm call.
 type Workload struct {
-	G   *graph.Graph
-	Set *core.Set
+	G    *graph.Graph
+	Set  *core.Set
+	prep *session.Prepared
 }
 
-// Prepare mines rules on the clean graph, then injects noise.
+// NewWorkload prepares a session over g and set and returns the workload
+// every sweep round should share.
+func NewWorkload(g *graph.Graph, set *core.Set) Workload {
+	p, err := session.New(g).Prepare(set)
+	if err != nil {
+		panic(err) // harness inputs are constructed, not user-supplied
+	}
+	return Workload{G: g, Set: set, prep: p}
+}
+
+// Prepared returns the workload's prepared session, building a one-shot
+// one for workloads assembled as struct literals.
+func (w Workload) Prepared() *session.Prepared {
+	if w.prep != nil {
+		return w.prep
+	}
+	p, err := session.New(w.G).Prepare(w.Set)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Prepare mines rules on the clean graph, injects noise, then prepares
+// the session on the noisy graph.
 func Prepare(c Config) Workload {
 	c = c.Defaults()
 	clean := c.cleanGraph()
 	set := c.Mine(clean)
 	gen.Inject(clean, gen.NoiseConfig{Rate: c.NoiseRate, Seed: c.Seed + 1,
 		Kinds: []gen.NoiseKind{gen.AttributeNoise, gen.RepresentationalNoise}})
-	return Workload{G: clean, Set: set}
+	return NewWorkload(clean, set)
 }
 
 // Table is one figure's data: rows indexed by the x-axis, one cell per
@@ -162,7 +193,9 @@ func (t Table) Get(x, series string) (float64, bool) {
 var SixAlgorithms = []string{"repVal", "repran", "repnop", "disVal", "disran", "disnop"}
 
 // RunAlgorithm executes one of the six named algorithms (repVal, repran,
-// repnop, disVal, disran, disnop) on a workload with n workers.
+// repnop, disVal, disran, disnop) on a workload with n workers, through
+// the workload's prepared session: the freeze and rule lowering were paid
+// when the workload was built, and fragmentations are cached per n.
 func RunAlgorithm(alg string, w Workload, n int, seed int64) *validate.Result {
 	opt := validate.Options{N: n, Seed: seed}
 	switch alg {
@@ -172,10 +205,12 @@ func RunAlgorithm(alg string, w Workload, n int, seed int64) *validate.Result {
 		opt.NoOptimize = true
 	}
 	if strings.HasPrefix(alg, "rep") {
-		return validate.RepVal(w.G, w.Set, opt)
+		opt.Engine = validate.EngineReplicated
+	} else {
+		opt.Engine = validate.EngineFragmented
 	}
-	frag := fragment.Partition(w.G, n, fragment.Hash)
-	return validate.DisVal(w.G, frag, w.Set, opt)
+	res, _ := w.Prepared().Detect(context.Background(), opt)
+	return res
 }
 
 // seconds converts a result to the plotted metric: the modeled n-worker
@@ -335,7 +370,7 @@ func Fig8Skew(c Config, skews []float64) Table {
 		})
 		set := c.Mine(clean)
 		gen.Inject(clean, gen.NoiseConfig{Rate: c.NoiseRate, Seed: c.Seed + 1})
-		w := Workload{G: clean, Set: set}
+		w := NewWorkload(clean, set)
 		row := Row{X: fmt.Sprintf("%.1f", sk), Cells: map[string]float64{}}
 		for _, alg := range series {
 			row.Cells[alg] = seconds(RunAlgorithm(alg, w, 16, c.Seed))

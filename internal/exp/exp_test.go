@@ -5,6 +5,63 @@ import (
 	"testing"
 )
 
+// TestWorkloadSweepFreezesOnce is the session-reuse acceptance probe: an
+// entire sweep — every worker count and all six algorithm variants, twice
+// — performs exactly one Freeze and one rule lowering on the workload's
+// graph version. Before the session API each RunAlgorithm call re-derived
+// reduction, grouping and (on mutated graphs) the snapshot.
+func TestWorkloadSweepFreezesOnce(t *testing.T) {
+	w := Prepare(small())
+	// Prepare performed the one freeze of the noisy graph version (mining
+	// froze the pre-noise version separately); the sweep must add zero.
+	base := w.G.SnapshotBuilds()
+	if base < 1 {
+		t.Fatalf("workload preparation performed %d snapshot builds, want >= 1", base)
+	}
+	syms := w.G.Freeze().Syms()
+	progs := make(map[string]any, w.Set.Len())
+	for _, f := range w.Set.Rules() {
+		progs[f.Name] = f.ProgramFor(syms)
+	}
+
+	for round := 0; round < 2; round++ {
+		for _, n := range []int{2, 4} {
+			for _, alg := range SixAlgorithms {
+				if res := RunAlgorithm(alg, w, n, 3); res == nil {
+					t.Fatalf("%s/n=%d returned nil", alg, n)
+				}
+			}
+		}
+	}
+
+	if builds := w.G.SnapshotBuilds() - base; builds != 0 {
+		t.Errorf("sweep performed %d extra snapshot builds, want 0 (one freeze per graph version)", builds)
+	}
+	// One lowering per rule: the per-rule program cache still holds the
+	// artifact compiled at prepare time — nothing inside the sweep evicted
+	// it by lowering against a different symbol table.
+	for _, f := range w.Set.Rules() {
+		if got := f.ProgramFor(syms); got != progs[f.Name] {
+			t.Errorf("rule %s was re-lowered during the sweep", f.Name)
+		}
+	}
+}
+
+// TestSessionReuseShape sanity-checks the benchmark table gfdbench emits
+// for the benchdiff gate.
+func TestSessionReuseShape(t *testing.T) {
+	tab := SessionReuse(small(), 2)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		v, ok := r.Cells["ms_per_round"]
+		if !ok || v <= 0 {
+			t.Errorf("row %s: bad ms_per_round %v", r.X, v)
+		}
+	}
+}
+
 // Small-scale smoke reproductions: the bench harness runs these sweeps at
 // full scale; here the *shapes* are asserted on reduced workloads.
 

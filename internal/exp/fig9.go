@@ -1,12 +1,13 @@
 package exp
 
 import (
+	"context"
 	"time"
 
-	"gfd/internal/baseline"
 	"gfd/internal/core"
 	"gfd/internal/gen"
 	"gfd/internal/graph"
+	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -38,31 +39,32 @@ func Fig9Accuracy(c Config) []AccuracyRow {
 	errs := gen.InjectTargeted(g, set, c.NoiseRate*10, c.Seed+1)
 	truth := gen.GroundTruth(errs)
 
+	// All three models run from one prepared session: the shared freeze
+	// and rule lowering drop out, so the timed gap is purely evaluation
+	// strategy (pivot-localized search vs path scans vs relational joins).
+	prep, err := session.New(g).Prepare(set)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
 	var out []AccuracyRow
-
-	// GFD engine (repVal, n=16).
-	start := time.Now()
-	res := validate.RepVal(g, set, validate.Options{N: 16, NoReduce: true})
-	gfdTime := time.Since(start)
-	p, r := gen.PrecisionRecall(truth, failedLiteralNodes(g, set, res.Violations))
-	out = append(out, AccuracyRow{Model: "GFD", Recall: r, Precision: p, Rules: set.Len(), Time: gfdTime})
-
-	// GCFD baseline: path-expressible rules only.
-	gcfds, dropped := baseline.ConvertSet(set)
-	start = time.Now()
-	gvio := baseline.Detect(g, gcfds)
-	gcfdTime := time.Since(start)
-	p, r = gen.PrecisionRecall(truth, failedLiteralNodes(g, set, gvio))
-	out = append(out, AccuracyRow{Model: "GCFD", Recall: r, Precision: p, Rules: set.Len() - dropped, Time: gcfdTime})
-
-	// BigDansing-style join engine: all rules, join evaluation.
-	rel := baseline.Encode(g)
-	start = time.Now()
-	bvio := baseline.DetectJoins(g, rel, set, 16)
-	bdTime := time.Since(start)
-	p, r = gen.PrecisionRecall(truth, failedLiteralNodes(g, set, bvio))
-	out = append(out, AccuracyRow{Model: "BigDansing", Recall: r, Precision: p, Rules: set.Len(), Time: bdTime})
-
+	row := func(model string, opt validate.Options) {
+		// Keep the timed region purely evaluation: derive the engine's
+		// lazy artifacts (grouping variant, GCFD conversion, relational
+		// encoding) first.
+		prep.WarmEngine(opt)
+		start := time.Now()
+		res, _ := prep.Detect(ctx, opt)
+		elapsed := time.Since(start)
+		p, r := gen.PrecisionRecall(truth, failedLiteralNodes(g, set, res.Violations))
+		out = append(out, AccuracyRow{Model: model, Recall: r, Precision: p, Rules: res.Rules, Time: elapsed})
+	}
+	// GFD engine (repVal, n=16); GCFD baseline (path-expressible rules
+	// only); BigDansing-style join engine (all rules, join evaluation).
+	row("GFD", validate.Options{Engine: validate.EngineReplicated, N: 16, NoReduce: true})
+	row("GCFD", validate.Options{Engine: validate.EngineGCFD})
+	row("BigDansing", validate.Options{Engine: validate.EngineBigDansing, N: 16})
 	return out
 }
 

@@ -66,6 +66,22 @@ type Graph struct {
 	snapMu      sync.Mutex // serializes Freeze's cache check-and-fill
 	snap        *Snapshot
 	snapVersion uint64
+	snapBuilds  uint64 // snapshots actually built (cache misses), for reuse probes
+}
+
+// Version returns the graph's mutation counter. Every mutating call
+// (AddNode, AddEdge, SetAttr, Relabel) bumps it; sessions and other
+// snapshot holders compare versions to detect staleness.
+func (g *Graph) Version() uint64 { return g.version }
+
+// SnapshotBuilds returns how many times Freeze actually built a snapshot
+// (as opposed to returning the cached one). It is the freeze-count probe
+// the session-reuse tests assert on: one build per graph version, no
+// matter how many engines and sweep rounds share the graph.
+func (g *Graph) SnapshotBuilds() int {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return int(g.snapBuilds)
 }
 
 // New returns an empty graph with capacity hints for nodes and edges. The

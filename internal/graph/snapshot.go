@@ -71,6 +71,7 @@ func (g *Graph) Freeze() *Snapshot {
 	}
 	s := buildSnapshot(g)
 	g.snap, g.snapVersion = s, g.version
+	g.snapBuilds++
 	return s
 }
 

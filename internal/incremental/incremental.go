@@ -70,11 +70,12 @@ func (SetAttr) isUpdate() {}
 // through Apply, which keeps the interned attribute index in lockstep with
 // the graph.
 type Detector struct {
-	g      *graph.Graph
-	rules  []*core.GFD
-	pivots []*workload.Pivot
-	attrs  *graph.AttrIndex
-	progs  []*core.LiteralProgram // per rule, compiled against attrs.Syms()
+	g       *graph.Graph
+	rules   []*core.GFD
+	pivots  []*workload.Pivot
+	attrs   *graph.AttrIndex
+	version uint64                 // graph version the attribute index is synced to
+	progs   []*core.LiteralProgram // per rule, compiled against attrs.Syms()
 
 	// violations keyed by unit identity (rule index + pivot node vector),
 	// so an affected unit's stale entries can be replaced atomically.
@@ -103,11 +104,21 @@ func (v Violation) Key() string {
 
 // New builds a detector with an initial full validation of g.
 func New(g *graph.Graph, set *core.Set) *Detector {
+	return NewWithIndex(g, set, graph.NewAttrIndex(g))
+}
+
+// NewWithIndex is New over a caller-supplied attribute index, which must
+// reflect g's current tuples. A session (gfd.Session) uses it to share
+// one maintained AttrIndex across detectors and rule sets instead of
+// re-interning every attribute per detector: interned codes only ever
+// grow, so programs compiled by earlier detectors stay valid.
+func NewWithIndex(g *graph.Graph, set *core.Set, ix *graph.AttrIndex) *Detector {
 	d := &Detector{
-		g:      g,
-		rules:  set.Rules(),
-		attrs:  graph.NewAttrIndex(g),
-		byUnit: make(map[string][]Violation),
+		g:       g,
+		rules:   set.Rules(),
+		attrs:   ix,
+		version: g.Version(),
+		byUnit:  make(map[string][]Violation),
 	}
 	// Intern every rule constant before compiling: the index's table
 	// grows with updates, and a constant must never be frozen as
@@ -128,6 +139,16 @@ func New(g *graph.Graph, set *core.Set) *Detector {
 	}
 	return d
 }
+
+// AttrIndex exposes the maintained attribute index so a session can hand
+// it to the next detector (see NewWithIndex).
+func (d *Detector) AttrIndex() *graph.AttrIndex { return d.attrs }
+
+// Synced reports whether the detector's attribute index reflects the
+// graph's current version — true as long as every mutation since the
+// detector was built went through Apply. A direct graph mutation
+// desynchronizes the index; holders must then rebuild it.
+func (d *Detector) Synced() bool { return d.version == d.g.Version() }
 
 // Report returns the current violation set, canonically sorted.
 func (d *Detector) Report() []Violation {
@@ -172,6 +193,10 @@ func (d *Detector) Apply(ups ...Update) []graph.NodeID {
 		}
 	}
 	d.refresh(touched)
+	// Apply keeps the attribute index in lockstep with the graph, so the
+	// detector stays synced at the new version (a Session polls Synced to
+	// decide whether the index can be reused by the next detector).
+	d.version = d.g.Version()
 	return inserted
 }
 

@@ -173,3 +173,45 @@ func TestUnitKeyDistinct(t *testing.T) {
 		t.Error("unit keys must not collide across rule/candidate splits")
 	}
 }
+
+func TestNewWithIndexSharesMaintainedIndex(t *testing.T) {
+	g := graph.New(0, 0)
+	au := g.AddNode("country", graph.Attrs{"val": "AU"})
+	c1 := g.AddNode("city", graph.Attrs{"val": "Canberra"})
+	c2 := g.AddNode("city", graph.Attrs{"val": "Melbourne"})
+	g.MustAddEdge(au, c1, "capital")
+	g.MustAddEdge(au, c2, "capital")
+	set := core.MustNewSet(capitalRule())
+
+	d1 := New(g, set)
+	if !d1.Synced() {
+		t.Fatal("fresh detector must be synced")
+	}
+	agree(t, d1, g, set)
+
+	// Mutate through the detector: the graph version advances and the
+	// index follows, so the detector stays synced and a second detector
+	// can be built over the same index.
+	d1.Apply(SetAttr{Node: c2, Attr: "val", Value: "Canberra"})
+	if !d1.Synced() {
+		t.Fatal("detector must remain synced after Apply")
+	}
+	d2 := NewWithIndex(g, set, d1.AttrIndex())
+	if d2.AttrIndex() != d1.AttrIndex() {
+		t.Fatal("NewWithIndex must adopt the supplied index")
+	}
+	agree(t, d2, g, set)
+	// Updates through the new detector keep the shared index usable by
+	// the first one's compiled programs (codes only grow).
+	d2.Apply(SetAttr{Node: c2, Attr: "val", Value: "Sydney"})
+	agree(t, d2, g, set)
+	if d1.Synced() {
+		t.Error("d1 did not observe d2's mutation; Synced must be false")
+	}
+
+	// A direct graph mutation desynchronizes every detector.
+	g.SetAttr(c1, "val", "Perth")
+	if d2.Synced() {
+		t.Error("direct mutation must desynchronize the detector")
+	}
+}

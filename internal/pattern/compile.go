@@ -33,16 +33,54 @@ type compiledEntry struct {
 
 // CompileFor is Compile memoized on the pattern per symbol table: engines
 // share one snapshot per run, so the steady state is an atomic load and a
-// pointer compare — repeated matcher construction (one per worker, one per
-// DetVio call) stops re-lowering every rule pattern.
+// few pointer compares — repeated matcher construction (one per worker,
+// one per DetVio call) stops re-lowering every rule pattern.
+//
+// The memo holds one entry per live symbol table (copy-on-write list), so
+// two prepared sessions over different graphs sharing one rule set do not
+// evict each other — each keeps its "lowered once per (graph version,
+// rule set)" guarantee. Dead tables' entries are dropped once the list
+// outgrows a small bound, keeping the memo from pinning old snapshots of
+// a long-lived mutating graph.
 func CompileFor(q *Pattern, syms *graph.Symbols) *Compiled {
-	if e := q.compiled.Load(); e != nil && e.syms == syms {
-		return e.c
+	entries := q.compiled.Load()
+	if entries != nil {
+		for _, e := range *entries {
+			if e.syms == syms {
+				return e.c
+			}
+		}
 	}
-	e := &compiledEntry{syms: syms, c: Compile(q, syms)}
-	q.compiled.Store(e)
-	return e.c
+	c := Compile(q, syms)
+	for {
+		old := q.compiled.Load()
+		var next []compiledEntry
+		if old != nil {
+			// Re-check under the CAS loop (a racing compile may have won).
+			for _, e := range *old {
+				if e.syms == syms {
+					return e.c
+				}
+			}
+			if len(*old) >= maxCompiledEntries {
+				// Keep the newest entries; the evicted tables recompile on
+				// their next use (correctness is unaffected).
+				next = append(next, (*old)[len(*old)-maxCompiledEntries+1:]...)
+			} else {
+				next = append(next, *old...)
+			}
+		}
+		next = append(next, compiledEntry{syms: syms, c: c})
+		if q.compiled.CompareAndSwap(old, &next) {
+			return c
+		}
+	}
 }
+
+// maxCompiledEntries bounds the per-pattern memo: enough for several
+// concurrent sessions, small enough that a mutating graph's discarded
+// symbol tables don't accumulate.
+const maxCompiledEntries = 8
 
 // Compile lowers q onto syms. It only reads the table (Lookup, never
 // Intern), so compiling against a shared snapshot is safe from concurrent

@@ -1,0 +1,65 @@
+package pattern
+
+import (
+	"fmt"
+	"testing"
+
+	"gfd/internal/graph"
+)
+
+// TestCompileForCachesPerTable: the per-pattern memo holds one entry per
+// live symbol table, so two sessions (two snapshots) sharing one rule's
+// pattern do not evict each other — CompileFor stays a pointer-compare
+// hit for both, preserving the lowered-once guarantee.
+func TestCompileForCachesPerTable(t *testing.T) {
+	q := New()
+	a := q.AddNode("x", "a")
+	b := q.AddNode("y", "b")
+	q.AddEdge(a, b, "e")
+
+	s1 := graph.NewSymbols()
+	s1.Intern("a")
+	s1.Intern("b")
+	s1.Intern("e")
+	s2 := graph.NewSymbols()
+	s2.Intern("b")
+	s2.Intern("a")
+
+	c1 := CompileFor(q, s1)
+	c2 := CompileFor(q, s2)
+	if c1 == c2 {
+		t.Fatal("distinct tables must get distinct lowerings")
+	}
+	// Alternating lookups must hit both cached entries, not recompile.
+	for i := 0; i < 4; i++ {
+		if CompileFor(q, s1) != c1 {
+			t.Fatalf("round %d: table 1 entry was evicted", i)
+		}
+		if CompileFor(q, s2) != c2 {
+			t.Fatalf("round %d: table 2 entry was evicted", i)
+		}
+	}
+}
+
+// TestCompileForBoundedEntries: the memo stays bounded when a pattern
+// outlives many symbol tables (a long-lived mutating graph), and the
+// newest table survives eviction.
+func TestCompileForBoundedEntries(t *testing.T) {
+	q := New()
+	q.AddNode("x", "a")
+
+	var last *graph.Symbols
+	for i := 0; i < 3*maxCompiledEntries; i++ {
+		last = graph.NewSymbols()
+		last.Intern(fmt.Sprintf("l%d", i))
+		CompileFor(q, last)
+	}
+	entries := q.compiled.Load()
+	if entries == nil || len(*entries) > maxCompiledEntries {
+		t.Fatalf("memo grew unbounded: %d entries", len(*entries))
+	}
+	c := CompileFor(q, last)
+	if CompileFor(q, last) != c {
+		t.Error("newest table must remain cached after eviction")
+	}
+}

@@ -41,9 +41,10 @@ type Pattern struct {
 	out    [][]int // edge indices leaving node i
 	in     [][]int // edge indices entering node i
 
-	// Lowered form cached per symbol table (see CompileFor). Do not mutate
-	// a pattern after it has been compiled against a snapshot.
-	compiled atomic.Pointer[compiledEntry]
+	// Lowered forms cached per symbol table, one entry per live table
+	// (see CompileFor). Do not mutate a pattern after it has been
+	// compiled against a snapshot.
+	compiled atomic.Pointer[[]compiledEntry]
 }
 
 // New returns an empty pattern.

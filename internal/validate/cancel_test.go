@@ -1,0 +1,166 @@
+package validate
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gfd/internal/fragment"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+)
+
+// cancelWorkload builds a repVal run large enough that aborting it
+// mid-flight is observable: a dense synthetic graph with mined rules and
+// heavy noise, so detection emits many violations across many units.
+func cancelWorkload(t *testing.T) (*graph.Graph, *Bundle) {
+	t.Helper()
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 600, Seed: 9})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 8, PatternSize: 4, TwoCompFrac: 0.3, Seed: 13})
+	if set.Len() == 0 {
+		t.Fatal("no rules mined")
+	}
+	gen.Inject(g, gen.NoiseConfig{Rate: 0.4, Seed: 11})
+	return g, NewBundle(g, set)
+}
+
+// TestRepValCancelledBeforeStart: an already-expired context aborts the
+// run with its error before detection does meaningful work.
+func TestRepValCancelledBeforeStart(t *testing.T) {
+	_, b := cancelWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RepValB(ctx, b, Options{N: 4}, nil)
+	if err == nil {
+		t.Fatal("cancelled repVal returned no error")
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("cancelled-before-start run still collected %d violations", len(res.Violations))
+	}
+}
+
+// TestRepValCancelMidRunAbortsPromptly: cancelling from inside the
+// streaming callback stops the workers at their next checkpoint, so the
+// run emits only a small prefix of the full violation set. This is the
+// deterministic promptness assertion: with worker loops that ignore the
+// context, the stream would deliver every violation regardless.
+func TestRepValCancelMidRunAbortsPromptly(t *testing.T) {
+	_, b := cancelWorkload(t)
+	full, err := RepValB(context.Background(), b, Options{N: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Violations)
+	if total < 50 {
+		t.Fatalf("workload too small to observe mid-run cancellation: %d violations", total)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err = RepValB(ctx, b, Options{N: 4}, func(Violation) bool {
+		emitted++
+		if emitted == 3 {
+			cancel()
+		}
+		return true
+	})
+	if err == nil {
+		t.Fatal("mid-run cancellation returned no error")
+	}
+	// Each of the 4 workers stops within one cancellation stride of the
+	// cancel; the emitted prefix must stay far below the full set.
+	if emitted >= total/2 {
+		t.Errorf("cancelled run emitted %d of %d violations; worker loops are not honoring ctx", emitted, total)
+	}
+}
+
+// TestDisValCancelMidRunAbortsPromptly is the disVal counterpart.
+func TestDisValCancelMidRunAbortsPromptly(t *testing.T) {
+	g, b := cancelWorkload(t)
+	frag := fragment.Partition(g, 4, fragment.Hash)
+	full, err := DisValB(context.Background(), b, frag, Options{N: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Violations)
+	if total < 50 {
+		t.Fatalf("workload too small: %d violations", total)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err = DisValB(ctx, b, frag, Options{N: 4}, func(Violation) bool {
+		emitted++
+		if emitted == 3 {
+			cancel()
+		}
+		return true
+	})
+	if err == nil {
+		t.Fatal("mid-run cancellation returned no error")
+	}
+	if emitted >= total/2 {
+		t.Errorf("cancelled run emitted %d of %d violations", emitted, total)
+	}
+}
+
+// TestRepValDeadlineAborts: a short wall-clock deadline aborts a run that
+// would otherwise take much longer, and returns promptly (generous bound:
+// an engine ignoring ctx would run to completion).
+func TestRepValDeadlineAborts(t *testing.T) {
+	_, b := cancelWorkload(t)
+	// Measure the uncancelled run; skip the timing assertion on hosts
+	// where it is too fast to bound reliably.
+	start := time.Now()
+	if _, err := RepValB(context.Background(), b, Options{N: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fullWall := time.Since(start)
+	if fullWall < 20*time.Millisecond {
+		t.Skip("full run too fast to time a deadline against")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), fullWall/20)
+	defer cancel()
+	start = time.Now()
+	_, err := RepValB(ctx, b, Options{N: 2}, nil)
+	aborted := time.Since(start)
+	if err == nil {
+		t.Skip("run finished before the deadline; nothing to assert")
+	}
+	if aborted > fullWall {
+		t.Errorf("deadline-aborted run took %v, full run %v", aborted, fullWall)
+	}
+}
+
+// TestSequentialStreamCancel covers DetVioB's cancellation the same way.
+func TestSequentialStreamCancel(t *testing.T) {
+	_, b := cancelWorkload(t)
+	var all Report
+	if err := DetVioB(context.Background(), b, func(v Violation) bool {
+		all = append(all, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 50 {
+		t.Fatalf("workload too small: %d violations", len(all))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := DetVioB(ctx, b, func(Violation) bool {
+		emitted++
+		if emitted == 3 {
+			cancel()
+		}
+		return true
+	})
+	if err == nil {
+		t.Fatal("cancelled sequential run returned no error")
+	}
+	if emitted >= len(all)/2 {
+		t.Errorf("cancelled run emitted %d of %d violations", emitted, len(all))
+	}
+}

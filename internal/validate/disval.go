@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"time"
 
 	"gfd/internal/cluster"
@@ -22,24 +23,37 @@ import (
 //
 // Variants: Options.RandomAssign yields disran, Options.NoOptimize yields
 // disnop (no grouping/dedup/splitting, always prefetch).
+//
+// It builds a one-shot bundle per call; callers validating the same graph
+// repeatedly should hold a session (gfd.NewSession) and Detect with
+// EngineFragmented instead.
 func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Options) *Result {
-	opt = opt.normalize()
+	res, _ := DisValB(context.Background(), NewBundle(g, set), frag, opt, nil)
+	return res
+}
+
+// DisValB is disVal over a prepared bundle with cooperative cancellation
+// and optional streaming, with the same contract as RepValB.
+func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt Options, emit func(Violation) bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		// A dead context must not pay for the estimation phase.
+		return &Result{}, err
+	}
+	opt = opt.Normalized()
 	if frag.N != opt.N {
 		// The fragmentation fixes worker count; workers beyond frag.N
 		// would own no data.
 		opt.N = frag.N
 	}
+	g := b.g
 	start := time.Now()
 	cl := cluster.New(opt.N, opt.Cost)
 	res := &Result{}
 
-	set = maybeReduce(set, opt)
+	set, groups := b.ruleGroups(opt)
 	res.Rules = set.Len()
-	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
 	res.Groups = len(groups)
-
-	// Compile the execution representation once; all workers share it.
-	snap := g.Freeze()
+	snap := b.snap
 
 	// ---- disPar: estimation with border/ownership accounting ---------
 	estStart := time.Now()
@@ -60,6 +74,9 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	}
 	res.Units = len(units)
 	res.EstimateWall = time.Since(estStart)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// ---- disPar: bi-criteria assignment ------------------------------
 	weights := make([]int, len(units))
@@ -82,13 +99,20 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 
 	// ---- dlocalVio: detection with prefetch / partial-match choice ---
 	detStart := time.Now()
+	var sink *streamSink
+	if emit != nil {
+		sink = &streamSink{yield: emit}
+	}
 	perWorker := make([]Report, opt.N)
 	prefetched := make([]int, opt.N)
 	partials := make([]int, opt.N)
 	busy := cl.RunMeasured(func(w int) {
-		var out Report
-		det := newUnitDetector(snap)
+		det := newUnitDetector(snap, &cancelCheck{ctx: ctx})
+		out := workerEmit(sink, &perWorker[w])
 		for _, ui := range assign[w] {
+			if det.cancel.canceled() {
+				return
+			}
 			u := units[ui]
 			grp := groups[u.group]
 			shipped := u.shipBytes[w]
@@ -112,9 +136,10 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 			} else {
 				prefetched[w]++
 			}
-			det.detect(grp, u, !opt.NoOptimize, &out)
+			if !det.detect(grp, u, !opt.NoOptimize, out) {
+				return
+			}
 		}
-		perWorker[w] = out
 	})
 	res.DetectWall = time.Since(detStart)
 	res.DetectSpan = cluster.MaxSpan(busy)
@@ -134,7 +159,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 	res.Messages = st.TotalMsgs
 	res.Comm = cl.CommTime()
 	res.Wall = time.Since(start)
-	return res
+	return res, ctx.Err()
 }
 
 // commCostWeight converts shipped bytes into load-comparable units for the

@@ -5,16 +5,24 @@ import (
 
 	"gfd/internal/cluster"
 	"gfd/internal/core"
+	"gfd/internal/fragment"
 	"gfd/internal/graph"
 	"gfd/internal/match"
-	"gfd/internal/reason"
 	"gfd/internal/workload"
 )
 
-// Options configures the parallel validation engines. The zero value is
-// completed by normalize(): 4 workers, LPT/bi-criteria assignment, all
-// optimizations on.
+// Options configures the validation engines. The zero value is completed
+// by Normalized(): the replicated engine, 4 workers, LPT/bi-criteria
+// assignment, all optimizations on.
 type Options struct {
+	// Engine selects the algorithm a unified entry point (Prepared.Detect
+	// / Prepared.Stream) runs; the direct engine functions ignore it.
+	// EngineAuto resolves to EngineReplicated.
+	Engine Engine
+	// Frag supplies the fragmentation for EngineFragmented. When nil the
+	// session hash-partitions the graph into N fragments (cached per
+	// graph version). Ignored by the other engines.
+	Frag *fragment.Fragmentation
 	// N is the number of workers (processors).
 	N int
 	// RandomAssign replaces the LPT / bi-criteria assignment with uniform
@@ -48,7 +56,10 @@ type Options struct {
 	Cost cluster.CostModel
 }
 
-func (o Options) normalize() Options {
+// Normalized fills unset fields with their defaults: the replicated
+// engine, 4 workers, histogram m = 16, the default cost model.
+func (o Options) Normalized() Options {
+	o.Engine = o.Engine.Resolve()
 	if o.N < 1 {
 		o.N = 4
 	}
@@ -111,22 +122,24 @@ type workUnit struct {
 }
 
 // unitDetector is one worker's detection state: a snapshot-backed Matcher
-// plus reusable pin map and match scratch, so the per-unit loop stays off
-// the allocator. Workers each own one; the underlying Snapshot is shared
-// and serves both enumeration (CSR topology) and literal evaluation
-// (interned attribute arena).
+// plus reusable pin map, match scratch, and cancellation probe, so the
+// per-unit loop stays off the allocator. Workers each own one; the
+// underlying Snapshot is shared and serves both enumeration (CSR
+// topology) and literal evaluation (interned attribute arena).
 type unitDetector struct {
 	m       *match.Matcher
 	pin     map[int]graph.NodeID
 	scratch core.Match
 	block   *graph.EpochSet // reusable data block, refilled per unit
+	cancel  *cancelCheck    // per-worker; consulted between matches
 }
 
-func newUnitDetector(snap *graph.Snapshot) *unitDetector {
+func newUnitDetector(snap *graph.Snapshot, cancel *cancelCheck) *unitDetector {
 	return &unitDetector{
-		m:     match.NewMatcher(snap),
-		pin:   make(map[int]graph.NodeID, 2),
-		block: graph.NewEpochSet(snap.NumNodes()),
+		m:      match.NewMatcher(snap),
+		pin:    make(map[int]graph.NodeID, 2),
+		block:  graph.NewEpochSet(snap.NumNodes()),
+		cancel: cancel,
 	}
 }
 
@@ -145,12 +158,18 @@ func (d *unitDetector) fillBlock(u workUnit) *graph.EpochSet {
 
 // detect enumerates the matches of the unit's group pattern inside the
 // unit's data block, with the pivots pinned to the unit's candidates, and
-// checks every group dependency on each match. For symmetric two-component
-// patterns whose mirrored units were deduplicated, both pin orders are
-// enumerated so the full match set is preserved.
-func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, out *Report) {
+// checks every group dependency on each match, delivering violations to
+// emit. For symmetric two-component patterns whose mirrored units were
+// deduplicated, both pin orders are enumerated so the full match set is
+// preserved. It returns false when the worker must stop: the context was
+// cancelled or emit refused a violation.
+func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, emit func(Violation) bool) bool {
 	block := d.fillBlock(u)
+	ok := true
 	runPins := func(c0, c1 graph.NodeID, both bool) {
+		if !ok {
+			return
+		}
 		clear(d.pin)
 		if both {
 			d.pin[grp.pivot.Vars[0]] = c0
@@ -168,16 +187,20 @@ func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, out *Rep
 			StripeNode: stripeNode(grp, u),
 		}
 		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
-			grp.checkMatch(d.m.Snapshot(), m, &d.scratch, out)
+			if d.cancel.canceled() || !grp.checkMatch(d.m.Snapshot(), m, &d.scratch, emit) {
+				ok = false
+				return false
+			}
 			return true
 		})
 	}
 	if deduped && grp.pivot.Symmetric() && len(u.Candidates) == 2 {
 		runPins(u.Candidates[0], u.Candidates[1], true)
 		runPins(u.Candidates[1], u.Candidates[0], true)
-		return
+		return ok
 	}
 	runPins(0, 0, false)
+	return ok
 }
 
 // stripeNode picks the pattern node the stripe constraint applies to: the
@@ -203,14 +226,6 @@ func stripeNode(grp *ruleGroup, u workUnit) int {
 // stripe on.
 func splittable(grp *ruleGroup) bool {
 	return grp.q.NumNodes() > len(grp.pivot.Vars)
-}
-
-// maybeReduce applies implication-based workload reduction when enabled.
-func maybeReduce(set *core.Set, opt Options) *core.Set {
-	if opt.NoOptimize || opt.NoReduce || set.Len() <= 1 {
-		return set
-	}
-	return reason.Reduce(set)
 }
 
 // splitThreshold resolves the effective θ given the generated units.

@@ -9,10 +9,12 @@ import (
 
 // depSpec is one rule's dependency attached to a rule group: the rule plus
 // the isomorphism perm mapping its own pattern node indices to the group
-// pattern's node indices.
+// pattern's node indices, and (when built through a Bundle) the rule's
+// literal program lowered onto the bundle's symbol table.
 type depSpec struct {
 	rule *core.GFD
-	perm []int // rule node index -> group node index
+	perm []int                // rule node index -> group node index
+	prog *core.LiteralProgram // bundle-held; nil falls back to ProgramFor
 }
 
 // ruleGroup is the multi-query processing unit (Appendix, "Multi-query
@@ -103,13 +105,14 @@ func identityPerm(n int) []int {
 }
 
 // checkMatch evaluates every dependency of the group against a group-level
-// match, appending violations (with matches remapped to each rule's own
-// node order). The remapped match is staged in *scratch so the per-match
-// hot path allocates only when a violation is actually recorded. Literal
-// checking runs each rule's compiled program against the shared snapshot's
-// interned attribute arena (ProgramFor is a cached pointer compare in the
-// steady state).
-func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *core.Match, out *Report) {
+// match, delivering violations to emit (with matches remapped to each
+// rule's own node order). The remapped match is staged in *scratch so the
+// per-match hot path allocates only when a violation is actually recorded.
+// Literal checking runs each rule's compiled program against the shared
+// snapshot's interned attribute arena (the bundle-held program pointer in
+// the steady state). Returns false when emit refused a violation and the
+// enumeration must stop.
+func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *core.Match, emit func(Violation) bool) bool {
 	for _, d := range grp.deps {
 		rm := *scratch
 		if cap(rm) < len(d.perm) {
@@ -120,8 +123,15 @@ func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *co
 		for i, gi := range d.perm {
 			rm[i] = m[gi]
 		}
-		if d.rule.ProgramFor(snap.Syms()).IsViolation(snap, rm) {
-			*out = append(*out, Violation{Rule: d.rule.Name, Match: append(core.Match(nil), rm...)})
+		p := d.prog
+		if p == nil {
+			p = d.rule.ProgramFor(snap.Syms())
+		}
+		if p.IsViolation(snap, rm) {
+			if !emit(Violation{Rule: d.rule.Name, Match: append(core.Match(nil), rm...)}) {
+				return false
+			}
 		}
 	}
+	return true
 }

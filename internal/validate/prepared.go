@@ -1,0 +1,250 @@
+package validate
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+	"gfd/internal/reason"
+)
+
+// Engine selects the detection algorithm a unified entry point runs. The
+// session layer (internal/session, surfaced as gfd.Session) dispatches on
+// it; the two baseline engines are executed there because they live in
+// internal/baseline, which sits above this package.
+type Engine uint8
+
+const (
+	// EngineAuto resolves to EngineReplicated, the paper's scalable
+	// default (Theorem 10) and the right choice for a server with the
+	// whole graph in memory.
+	EngineAuto Engine = iota
+	// EngineSequential is detVio (Section 5.1): exhaustive, exact, and
+	// exponential in the worst case.
+	EngineSequential
+	// EngineReplicated is repVal (Theorem 10); Options.RandomAssign and
+	// Options.NoOptimize select the repran / repnop variants.
+	EngineReplicated
+	// EngineFragmented is disVal (Theorem 11) over Options.Frag (or a
+	// hash partition into Options.N fragments when unset).
+	EngineFragmented
+	// EngineGCFD is the path-restricted GCFD baseline of Exp-5.
+	EngineGCFD
+	// EngineBigDansing is the relational-join baseline of Exp-5.
+	EngineBigDansing
+)
+
+// String names the engine as the paper does.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSequential:
+		return "detVio"
+	case EngineReplicated:
+		return "repVal"
+	case EngineFragmented:
+		return "disVal"
+	case EngineGCFD:
+		return "gcfd"
+	case EngineBigDansing:
+		return "bigdansing"
+	}
+	return "unknown"
+}
+
+// Resolve maps EngineAuto to the concrete default engine.
+func (e Engine) Resolve() Engine {
+	if e == EngineAuto {
+		return EngineReplicated
+	}
+	return e
+}
+
+// Bundle is the compiled execution state every engine runs from: the
+// frozen snapshot of the graph plus the rule set with its lowered
+// artifacts. Building one pays, exactly once per (graph version, rule
+// set):
+//
+//   - Graph.Freeze — the CSR snapshot with interned labels and the
+//     attribute arena;
+//   - pattern.CompileFor per rule — pattern labels lowered onto the
+//     snapshot's symbol table;
+//   - GFD.ProgramFor per rule — X → Y literals lowered to integer
+//     instructions.
+//
+// Workload reduction (reason.Reduce) and multi-query grouping are lazy —
+// they depend on Options variants — but each variant is computed once and
+// cached, so repeated Detect calls re-derive nothing. A Bundle is
+// immutable with respect to the graph: it is valid for the graph version
+// it was built at, and safe for concurrent readers. The session layer
+// rebuilds bundles when the graph mutates.
+type Bundle struct {
+	g    *graph.Graph
+	snap *graph.Snapshot
+	set  *core.Set
+
+	mu      sync.Mutex
+	reduced *core.Set
+	groups  map[groupKey][]*ruleGroup
+	// progs holds the bundle's own reference to each rule's compiled
+	// literal program. The GFD-level ProgramFor cache is single-entry per
+	// rule; two live bundles over different graphs sharing one rule set
+	// would evict each other through it, silently recompiling per call
+	// (or per match, from checkMatch). Bundle-held references make the
+	// "lowered once per (graph version, rule set)" guarantee immune to
+	// other sessions.
+	progs map[*core.GFD]*core.LiteralProgram
+}
+
+// groupKey identifies one cached grouping variant.
+type groupKey struct {
+	combine        bool // multi-query grouping on (not *nop)
+	arbitraryPivot bool
+	reduced        bool // built over the reduced set
+}
+
+// NewBundle freezes g and eagerly lowers every rule of set onto the
+// snapshot's symbol table.
+func NewBundle(g *graph.Graph, set *core.Set) *Bundle {
+	b := &Bundle{
+		g:      g,
+		snap:   g.Freeze(),
+		set:    set,
+		groups: make(map[groupKey][]*ruleGroup, 2),
+		progs:  make(map[*core.GFD]*core.LiteralProgram, set.Len()),
+	}
+	syms := b.snap.Syms()
+	for _, f := range set.Rules() {
+		pattern.CompileFor(f.Q, syms)
+		b.progs[f] = f.ProgramFor(syms)
+	}
+	return b
+}
+
+// Program returns f's literal program lowered onto the bundle's symbol
+// table: the bundle-held reference for prepared rules, a compile-and-
+// cache for rules outside the set (e.g. the GCFD baseline's encodings).
+func (b *Bundle) Program(f *core.GFD) *core.LiteralProgram {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p, ok := b.progs[f]; ok {
+		return p
+	}
+	p := f.CompileLiterals(b.snap.Syms())
+	b.progs[f] = p
+	return p
+}
+
+// Graph returns the source graph the bundle was compiled from.
+func (b *Bundle) Graph() *graph.Graph { return b.g }
+
+// Snapshot returns the frozen CSR view the engines run against.
+func (b *Bundle) Snapshot() *graph.Snapshot { return b.snap }
+
+// Set returns the full (unreduced) rule set.
+func (b *Bundle) Set() *core.Set { return b.set }
+
+// ruleSet resolves the effective rule set under opt, caching the
+// implication-based reduction so a prepared session pays it once, not
+// once per Detect round.
+func (b *Bundle) ruleSet(opt Options) *core.Set {
+	if opt.NoOptimize || opt.NoReduce || b.set.Len() <= 1 {
+		return b.set
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.reduced == nil {
+		b.reduced = reason.Reduce(b.set)
+	}
+	return b.reduced
+}
+
+// ruleGroups resolves the effective rule set and its multi-query groups
+// under opt, cached per variant.
+func (b *Bundle) ruleGroups(opt Options) (*core.Set, []*ruleGroup) {
+	set := b.ruleSet(opt)
+	key := groupKey{
+		combine:        !opt.NoOptimize,
+		arbitraryPivot: opt.ArbitraryPivot,
+		reduced:        set != b.set,
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gs, ok := b.groups[key]; ok {
+		return set, gs
+	}
+	gs := buildGroups(set.Rules(), key.combine, key.arbitraryPivot)
+	// Bind each dependency to its bundle-held program so the per-match
+	// hot path (checkMatch) neither locks nor touches the evictable
+	// GFD-level cache. Every grouped rule was lowered at NewBundle.
+	for _, grp := range gs {
+		for i := range grp.deps {
+			grp.deps[i].prog = b.progs[grp.deps[i].rule]
+		}
+	}
+	b.groups[key] = gs
+	return set, gs
+}
+
+// Warm precomputes the reduction and grouping variant opt selects, so a
+// later timed Detect with the same options pays nothing beyond
+// estimation and enumeration. Variants not warmed cache on first use.
+func (b *Bundle) Warm(opt Options) { b.ruleGroups(opt) }
+
+// streamSink serializes violation emissions from concurrent workers onto
+// one user callback. Once the callback returns false every worker's next
+// emit fails, stopping the engines.
+type streamSink struct {
+	mu      sync.Mutex
+	yield   func(Violation) bool
+	stopped atomic.Bool
+}
+
+func (s *streamSink) emit(v Violation) bool {
+	if s.stopped.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return false
+	}
+	if !s.yield(v) {
+		s.stopped.Store(true)
+		return false
+	}
+	return true
+}
+
+// cancelStride is how many per-match checkpoints pass between actual
+// ctx.Err() consultations: Err takes the context's mutex, which the
+// zero-alloc enumeration hot path must not hit per match.
+const cancelStride = 64
+
+// cancelCheck is a per-worker cooperative cancellation probe. It is not
+// safe for concurrent use; every worker owns one.
+type cancelCheck struct {
+	ctx context.Context
+	n   uint32
+	hit bool
+}
+
+// canceled reports whether the context is done, consulting it on the
+// first call and then every cancelStride calls.
+func (c *cancelCheck) canceled() bool {
+	if c == nil || c.hit {
+		return c != nil && c.hit
+	}
+	c.n++
+	if c.n != 1 && c.n%cancelStride != 0 {
+		return false
+	}
+	if c.ctx.Err() != nil {
+		c.hit = true
+	}
+	return c.hit
+}

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"time"
 
 	"gfd/internal/cluster"
@@ -18,24 +19,40 @@ import (
 //
 // Variants: Options.RandomAssign yields repran, Options.NoOptimize yields
 // repnop.
+//
+// It builds a one-shot bundle per call; callers validating the same graph
+// repeatedly should hold a session (gfd.NewSession) and Detect with
+// EngineReplicated instead.
 func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
-	opt = opt.normalize()
+	res, _ := RepValB(context.Background(), NewBundle(g, set), opt, nil)
+	return res
+}
+
+// RepValB is repVal over a prepared bundle with cooperative cancellation:
+// workers check the context between work units and (strided) between
+// matches, so a cancelled run aborts promptly and returns the context's
+// error with partial instrumentation. When emit is non-nil, violations
+// stream to it as they are found (serialized across workers, stopping the
+// engine when it returns false) and Result.Violations stays empty;
+// otherwise they are collected per worker, unioned and sorted.
+func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		// A dead context must not pay for the estimation phase.
+		return &Result{}, err
+	}
+	opt = opt.Normalized()
 	start := time.Now()
 	cl := cluster.New(opt.N, opt.Cost)
 	res := &Result{}
 
-	set = maybeReduce(set, opt)
+	set, groups := b.ruleGroups(opt)
 	res.Rules = set.Len()
-	groups := buildGroups(set.Rules(), !opt.NoOptimize, opt.ArbitraryPivot)
 	res.Groups = len(groups)
-
-	// Compile the execution representation once; estimation and detection
-	// both run over the snapshot, shared read-only by every worker.
-	snap := g.Freeze()
+	snap := b.snap
 
 	// ---- bPar: parallel workload estimation --------------------------
 	estStart := time.Now()
-	units, estSpan := estimateUnits(g, snap, cl, groups, opt)
+	units, estSpan := estimateUnits(b.g, snap, cl, groups, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -43,6 +60,9 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 	res.SplitUnits = split
 	res.Units = len(units)
 	res.EstimateWall = time.Since(estStart)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// ---- bPar: balanced n-partition ----------------------------------
 	weights := make([]int, len(units))
@@ -65,15 +85,23 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 
 	// ---- localVio: parallel local detection --------------------------
 	detStart := time.Now()
+	var sink *streamSink
+	if emit != nil {
+		sink = &streamSink{yield: emit}
+	}
 	perWorker := make([]Report, opt.N)
 	busy := cl.RunMeasured(func(w int) {
-		var out Report
-		det := newUnitDetector(snap)
+		det := newUnitDetector(snap, &cancelCheck{ctx: ctx})
+		out := workerEmit(sink, &perWorker[w])
 		for _, ui := range assign[w] {
+			if det.cancel.canceled() {
+				return
+			}
 			u := units[ui]
-			det.detect(groups[u.group], u, !opt.NoOptimize, &out)
+			if !det.detect(groups[u.group], u, !opt.NoOptimize, out) {
+				return
+			}
 		}
-		perWorker[w] = out
 	})
 	res.DetectWall = time.Since(detStart)
 	res.DetectSpan = cluster.MaxSpan(busy)
@@ -91,7 +119,20 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 	res.Messages = st.TotalMsgs
 	res.Comm = cl.CommTime()
 	res.Wall = time.Since(start)
-	return res
+	return res, ctx.Err()
+}
+
+// workerEmit selects one worker's violation consumer: the shared
+// streaming sink when the caller streams, else an append onto the
+// worker's private report slice.
+func workerEmit(sink *streamSink, out *Report) func(Violation) bool {
+	if sink != nil {
+		return sink.emit
+	}
+	return func(v Violation) bool {
+		*out = append(*out, v)
+		return true
+	}
 }
 
 const (

@@ -14,64 +14,75 @@ import (
 // paper's large graphs (Exp-1: detVio does not terminate within 6000s).
 var ErrTimeout = errors.New("validate: sequential detection timed out")
 
-// DetVio is the sequential error-detection algorithm of Section 5.1: for
-// every rule it enumerates all matches of the pattern in g and collects
-// those violating X → Y. It is the correctness reference for the parallel
-// engines, and exponential in the worst case.
+// DetVioB is the sequential error-detection algorithm of Section 5.1 over
+// a prepared bundle: for every rule it enumerates all matches of the
+// pattern in the bundle's snapshot and delivers those violating X → Y to
+// emit in discovery order, without materializing a report. Enumeration
+// stops when emit returns false (no error) or the context is cancelled
+// (the context's error is returned). It is the correctness reference for
+// the parallel engines, and exponential in the worst case.
+func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) error {
+	snap := b.snap
+	m := match.NewMatcher(snap)
+	cancel := &cancelCheck{ctx: ctx}
+	for _, f := range b.set.Rules() {
+		p := b.Program(f)
+		stopped := false
+		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
+			if cancel.canceled() {
+				return false
+			}
+			if p.IsViolation(snap, h) {
+				if !emit(Violation{Rule: f.Name, Match: append(core.Match(nil), h...)}) {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
+		if cancel.hit {
+			return ctx.Err()
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// DetVio runs the sequential detector and returns Vio(Σ, G).
 //
-// The graph is frozen once (Graph.Freeze); every rule's enumeration runs
-// over the compiled snapshot and its X → Y check over the rule's literal
-// program lowered onto the snapshot's symbol table.
+// Deprecated-style convenience: it builds a one-shot bundle per call.
+// Callers validating the same graph repeatedly should hold a session
+// (gfd.NewSession) and Detect with EngineSequential instead.
 func DetVio(g *graph.Graph, set *core.Set) Report {
 	r, _ := DetVioCtx(context.Background(), g, set)
 	return r
 }
 
 // DetVioCtx is DetVio with cooperative cancellation, checked between
-// matches.
+// matches. On expiry it returns the violations found so far plus
+// ErrTimeout.
 func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, error) {
 	var out Report
-	snap := g.Freeze()
-	m := match.NewMatcher(snap)
-	for _, f := range set.Rules() {
-		p := f.ProgramFor(snap.Syms())
-		var err error
-		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
-			if ctx.Err() != nil {
-				err = ErrTimeout
-				return false
-			}
-			if p.IsViolation(snap, h) {
-				out = append(out, Violation{Rule: f.Name, Match: append(core.Match(nil), h...)})
-			}
-			return true
-		})
-		if err != nil {
-			return out, err
-		}
+	err := DetVioB(ctx, NewBundle(g, set), func(v Violation) bool {
+		out = append(out, v)
+		return true
+	})
+	if err != nil {
+		return out, ErrTimeout
 	}
 	out.Sort()
 	return out, nil
 }
 
 // Satisfies reports G |= Σ, i.e. whether the violation set is empty — the
-// validation problem of Proposition 9.
+// validation problem of Proposition 9. It stops at the first violation.
 func Satisfies(g *graph.Graph, set *core.Set) bool {
-	snap := g.Freeze()
-	m := match.NewMatcher(snap)
-	for _, f := range set.Rules() {
-		p := f.ProgramFor(snap.Syms())
-		violated := false
-		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
-			if p.IsViolation(snap, h) {
-				violated = true
-				return false
-			}
-			return true
-		})
-		if violated {
-			return false
-		}
-	}
-	return true
+	violated := false
+	_ = DetVioB(context.Background(), NewBundle(g, set), func(Violation) bool {
+		violated = true
+		return false
+	})
+	return !violated
 }
