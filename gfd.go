@@ -26,7 +26,11 @@
 // (EngineGCFD, EngineBigDansing), all running from the same prepared
 // artifacts. Freeze, workload reduction, grouping and rule lowering are
 // paid once per (graph version, rule set) across every round; mutating
-// the graph re-prepares automatically, exactly once per new version.
+// the graph directly re-prepares automatically, exactly once per new
+// version. Small mutations routed through Session.Apply (or an
+// incremental detector) skip even that: they fold into a maintained
+// delta Overlay the next Detect runs against, with a full re-freeze
+// only when the accumulated delta outgrows the base (compaction).
 // Stream delivers violations as they are found instead of materializing
 // the report, and every engine honors context cancellation.
 //
@@ -84,6 +88,15 @@ type (
 	// candidate ranges. Matching and validation hot paths run against it;
 	// mutate the Graph, then Freeze again for a fresh view.
 	Snapshot = graph.Snapshot
+	// Topology is the compiled execution view the engines run against,
+	// implemented by both *Snapshot (the immutable batch fast path) and
+	// *Overlay (a snapshot plus update patches).
+	Topology = graph.Topology
+	// Overlay is a base Snapshot plus localized patches tracking
+	// AddNode/AddEdge/SetAttr updates — the delta view Session.Apply and
+	// the incremental detector maintain so small mutations stop costing a
+	// full re-freeze.
+	Overlay = graph.Overlay
 
 	// Pattern is a graph pattern Q[x̄].
 	Pattern = pattern.Pattern
@@ -316,10 +329,12 @@ type (
 )
 
 // NewIncremental builds an incremental detector with an initial full
-// validation of g against Σ. Session.Incremental is the session-aware
-// equivalent: it shares one attribute index across detectors, and
-// updates applied through the detector invalidate the session's prepared
-// rule sets so their next Detect re-freezes.
+// validation of g against Σ. The detector maintains a delta Overlay over
+// the graph's frozen snapshot and re-validates touched units on the
+// compiled match path; no full snapshot is rebuilt per update batch.
+// Session.Incremental is the session-aware equivalent: it shares one
+// maintained overlay across detectors and Session.Apply, so the
+// session's prepared rule sets follow updates without re-freezing.
 func NewIncremental(g *Graph, s *Set) *IncrementalDetector { return incremental.New(g, s) }
 
 // RepairSuggestion is one proposed attribute fix derived from a violation

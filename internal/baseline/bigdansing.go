@@ -82,7 +82,7 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 	// final X → Y filter runs each rule's compiled literal program against
 	// the frozen attribute arena (the join pipeline itself — the part the
 	// comparison measures — stays relational).
-	snap := b.Snapshot()
+	snap := b.Topo()
 	for _, f := range b.Set().Rules() {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -96,7 +96,7 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 
 // detectOneJoin runs one rule's join pipeline; it returns false when emit
 // stopped the detection.
-func detectOneJoin(ctx context.Context, g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) bool {
+func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) bool {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
@@ -235,7 +235,7 @@ func bindNode(q *pattern.Pattern, b binding, pv int, g graph.NodeID) bool {
 
 // joinRest extends the binding through the remaining plan steps; it
 // returns false when emit stopped the detection.
-func joinRest(g *graph.Graph, snap *graph.Snapshot, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, emit func(validate.Violation) bool) bool {
+func joinRest(g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, emit func(validate.Violation) bool) bool {
 	if depth == len(plan) {
 		return finishBinding(snap, f, prog, b, emit)
 	}
@@ -272,7 +272,7 @@ func labelsOK(g *graph.Graph, q *pattern.Pattern, s planStep, b binding) bool {
 // finishBinding applies the hand-coded isomorphism filter (pairwise
 // distinctness) and the compiled dependency check; it returns false when
 // emit stopped the detection.
-func finishBinding(snap *graph.Snapshot, f *core.GFD, prog *core.LiteralProgram, b binding, emit func(validate.Violation) bool) bool {
+func finishBinding(snap core.AttrSource, f *core.GFD, prog *core.LiteralProgram, b binding, emit func(validate.Violation) bool) bool {
 	for i := 0; i < len(b); i++ {
 		if b[i] == graph.Invalid {
 			return true

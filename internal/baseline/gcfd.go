@@ -167,7 +167,7 @@ func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 // prepared rule conversion is validated without re-freezing or
 // re-encoding anything.
 func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(validate.Violation) bool) error {
-	snap := b.Snapshot()
+	snap := b.Topo()
 	m := match.NewMatcher(snap)
 	aborted := false
 	checked := 0

@@ -81,6 +81,13 @@ func lowerLiterals(ls []boundLiteral, syms *graph.Symbols) ([]litInst, bool) {
 	return out, never
 }
 
+// Resolved reports that every literal name and constant lowered to a real
+// code: such a program can never go stale as its table grows (codes are
+// append-only), so holders may reuse it across re-compilations. A program
+// with a never-matching side must be recompiled once the table may have
+// interned the missing name.
+func (p *LiteralProgram) Resolved() bool { return !p.neverX && !p.neverY }
+
 // InternLiterals interns every attribute name and constant of ϕ's literals
 // into syms, so a later CompileLiterals against the same table resolves
 // them all. Required before compiling against a growing table (AttrIndex):

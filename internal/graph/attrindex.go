@@ -4,9 +4,11 @@ import "sort"
 
 // AttrIndex is the mutable counterpart of the Snapshot's interned
 // attribute arena: per-node (Name, Val) pairs sorted by Name, maintained
-// incrementally as the graph mutates. The incremental detector owns one so
-// literal evaluation (core.LiteralProgram) runs on integer compares there
-// too, without re-freezing the whole graph per update batch.
+// incrementally as the graph mutates. An Overlay embeds one (borrowing
+// the base snapshot's arena copy-on-write, see newAttrIndexOver) so
+// literal evaluation (core.LiteralProgram) runs on integer compares on
+// the incremental path too, without re-freezing the whole graph per
+// update batch.
 //
 // Unlike a Snapshot's table, an AttrIndex's Symbols table keeps growing:
 // updates intern new values on the fly. Interned codes are stable, so
@@ -21,6 +23,12 @@ import "sort"
 type AttrIndex struct {
 	syms  *Symbols
 	pairs [][]AttrPair // indexed by NodeID, each sorted by Name
+
+	// borrowed marks tuples that alias a frozen snapshot's arena
+	// (newAttrIndexOver): those are copied before the first write so the
+	// shared snapshot stays immutable. nil for indexes that own all
+	// tuples (NewAttrIndex).
+	borrowed []bool
 }
 
 // NewAttrIndex builds the index of g's current attribute tuples. Names are
@@ -44,6 +52,30 @@ func NewAttrIndex(g *Graph) *AttrIndex {
 	}
 	for v := range g.attrs {
 		ix.pairs[v] = ix.internTuple(g.attrs[v])
+	}
+	return ix
+}
+
+// newAttrIndexOver builds an index over a frozen snapshot's interned
+// attribute arena without re-interning anything: every tuple is borrowed
+// as a capacity-capped subslice of the arena and copied only when first
+// written (SetAttr), and the snapshot's own symbol table is adopted — the
+// Overlay's one-namespace requirement. O(|V|) slice headers, no tuple
+// copying.
+func newAttrIndexOver(s *Snapshot) *AttrIndex {
+	n := s.NumNodes()
+	ix := &AttrIndex{
+		syms:     s.syms,
+		pairs:    make([][]AttrPair, n),
+		borrowed: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := s.attrOff[v], s.attrOff[v+1]
+		if lo == hi {
+			continue
+		}
+		ix.pairs[v] = s.attrPairs[lo:hi:hi]
+		ix.borrowed[v] = true
 	}
 	return ix
 }
@@ -80,9 +112,15 @@ func (ix *AttrIndex) AddNode(attrs Attrs) {
 	ix.pairs = append(ix.pairs, ix.internTuple(attrs))
 }
 
-// SetAttr upserts attribute name = val on node v, interning both.
+// SetAttr upserts attribute name = val on node v, interning both. A
+// borrowed tuple is copied before the write (copy-on-write over the
+// snapshot arena).
 func (ix *AttrIndex) SetAttr(v NodeID, name, val string) {
 	n, vl := ix.syms.Intern(name), ix.syms.Intern(val)
+	if ix.borrowed != nil && int(v) < len(ix.borrowed) && ix.borrowed[v] {
+		ix.pairs[v] = append([]AttrPair(nil), ix.pairs[v]...)
+		ix.borrowed[v] = false
+	}
 	ps := ix.pairs[v]
 	pos := sort.Search(len(ps), func(i int) bool { return ps[i].Name >= n })
 	if pos < len(ps) && ps[pos].Name == n {

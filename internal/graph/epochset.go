@@ -63,8 +63,16 @@ func (s *EpochSet) Len() int { return len(s.members) }
 // invalidated by the next Reset; callers that retain it must copy.
 func (s *EpochSet) Members() []NodeID { return s.members }
 
-// beginFill starts a fresh visited mask for one traversal.
+// beginFill starts a fresh visited mask for one traversal, growing both
+// the mask and the membership stamp array to cover an ID space that has
+// expanded since the set was built (nodes inserted through an Overlay).
+// Grown regions are zeroed, i.e. unvisited and not members.
 func (set *EpochSet) beginFill(n int) {
+	if len(set.stamp) < n {
+		grown := make([]uint32, n)
+		copy(grown, set.stamp)
+		set.stamp = grown
+	}
 	if len(set.visit) < n {
 		set.visit = make([]uint32, n)
 		set.visitEpoch = 0

@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// overlayBaseGraph builds a small deterministic property graph to stack
+// overlays on.
+func overlayBaseGraph() *Graph {
+	g := New(8, 12)
+	labels := []string{"person", "city", "person", "company", "city", "person"}
+	for i, l := range labels {
+		g.AddNode(l, Attrs{"val": fmt.Sprintf("v%d", i)})
+	}
+	g.MustAddEdge(0, 1, "lives_in")
+	g.MustAddEdge(2, 1, "lives_in")
+	g.MustAddEdge(0, 3, "works_at")
+	g.MustAddEdge(2, 3, "works_at")
+	g.MustAddEdge(3, 4, "based_in")
+	g.MustAddEdge(5, 4, "lives_in")
+	return g
+}
+
+// edgeKey renders an adjacency entry with its label name so views over
+// different symbol tables can be compared.
+func edgeKey(syms *Symbols, e CSREdge) string {
+	return fmt.Sprintf("%s->%d", syms.Name(e.Label), e.To)
+}
+
+// assertOverlayMatchesFreeze checks every Topology observable of ov
+// against a fresh freeze of the mutated graph — the compaction oracle:
+// the patched view and the from-scratch CSR must be indistinguishable.
+func assertOverlayMatchesFreeze(t *testing.T, ov *Overlay) {
+	t.Helper()
+	g := ov.Graph()
+	snap := buildSnapshot(g) // bypass the cache: the oracle must be fresh
+	if ov.NumNodes() != snap.NumNodes() {
+		t.Fatalf("NumNodes: overlay %d, freeze %d", ov.NumNodes(), snap.NumNodes())
+	}
+	osyms, ssyms := ov.Syms(), snap.Syms()
+	for v := 0; v < snap.NumNodes(); v++ {
+		id := NodeID(v)
+		if got, want := osyms.Name(ov.Label(id)), ssyms.Name(snap.Label(id)); got != want {
+			t.Fatalf("Label(%d): overlay %q, freeze %q", v, got, want)
+		}
+		// Adjacency must agree as an edge multiset; the within-node order
+		// may differ between the views because each is sorted by its own
+		// table's label codes (the overlay interns late-arriving labels at
+		// higher codes than a fresh freeze would). Per-view sortedness —
+		// what the binary searches rely on — is asserted separately.
+		for dir, pair := range map[string][2][]CSREdge{
+			"out": {ov.Out(id), snap.Out(id)},
+			"in":  {ov.In(id), snap.In(id)},
+		} {
+			oes, ses := pair[0], pair[1]
+			if len(oes) != len(ses) {
+				t.Fatalf("%s degree of %d: overlay %d, freeze %d", dir, v, len(oes), len(ses))
+			}
+			for i := 1; i < len(oes); i++ {
+				prev, cur := oes[i-1], oes[i]
+				if cur.Label < prev.Label || (cur.Label == prev.Label && cur.To < prev.To) {
+					t.Fatalf("%s adjacency of %d not (label, neighbor)-sorted at %d", dir, v, i)
+				}
+			}
+			okeys := make([]string, len(oes))
+			skeys := make([]string, len(ses))
+			for i := range oes {
+				okeys[i] = edgeKey(osyms, oes[i])
+				skeys[i] = edgeKey(ssyms, ses[i])
+			}
+			sort.Strings(okeys)
+			sort.Strings(skeys)
+			for i := range okeys {
+				if okeys[i] != skeys[i] {
+					t.Fatalf("%s adjacency of %d differs: overlay %s, freeze %s", dir, v, okeys[i], skeys[i])
+				}
+			}
+		}
+		// Attribute tuples through the interned index.
+		for name, want := range g.NodeAttrs(id) {
+			sym, ok := ov.AttrSym(id, osyms.Lookup(name))
+			if !ok {
+				t.Fatalf("AttrSym(%d, %s): overlay misses attribute", v, name)
+			}
+			if got := osyms.Name(sym); got != want {
+				t.Fatalf("AttrSym(%d, %s): overlay %q, graph %q", v, name, got, want)
+			}
+		}
+	}
+	// Candidate classes: same node sets, ascending, sizes consistent.
+	for _, label := range g.Labels() {
+		oc := ov.NodesWith(osyms.Lookup(label))
+		sc := snap.NodesWith(ssyms.Lookup(label))
+		if fmt.Sprint(oc) != fmt.Sprint(sc) {
+			t.Fatalf("NodesWith(%s): overlay %v, freeze %v", label, oc, sc)
+		}
+		if !sort.SliceIsSorted(oc, func(i, j int) bool { return oc[i] < oc[j] }) {
+			t.Fatalf("NodesWith(%s) not ascending: %v", label, oc)
+		}
+		if ov.ClassSize(osyms.Lookup(label)) != len(oc) {
+			t.Fatalf("ClassSize(%s) = %d, class has %d", label, ov.ClassSize(osyms.Lookup(label)), len(oc))
+		}
+	}
+	// Edge existence and neighborhoods, spot-checked over every node pair
+	// on small graphs (capped for fuzz inputs that grew the graph).
+	n := snap.NumNodes()
+	cap := n
+	if cap > 24 {
+		cap = 24
+	}
+	for a := 0; a < cap; a++ {
+		for b := 0; b < cap; b++ {
+			if got, want := ov.HasEdge(NodeID(a), NodeID(b), WildcardSym), snap.HasEdge(NodeID(a), NodeID(b), WildcardSym); got != want {
+				t.Fatalf("HasEdge(%d, %d, _): overlay %v, freeze %v", a, b, got, want)
+			}
+		}
+		for c := 0; c <= 2; c++ {
+			if got, want := fmt.Sprint(ov.Neighborhood(NodeID(a), c)), fmt.Sprint(snap.Neighborhood(NodeID(a), c)); got != want {
+				t.Fatalf("Neighborhood(%d, %d): overlay %s, freeze %s", a, c, got, want)
+			}
+			if got, want := ov.NeighborhoodSize(NodeID(a), c), snap.NeighborhoodSize(NodeID(a), c); got != want {
+				t.Fatalf("NeighborhoodSize(%d, %d): overlay %d, freeze %d", a, c, got, want)
+			}
+			// BlockInto is a hand-specialized copy of the snapshot's fill
+			// (see Overlay.bfs); pin the two against each other.
+			oset, sset := NewEpochSet(ov.NumNodes()), NewEpochSet(snap.NumNodes())
+			ov.BlockInto(oset, NodeID(a), c)
+			snap.BlockInto(sset, NodeID(a), c)
+			om := append([]NodeID(nil), oset.Members()...)
+			sm := append([]NodeID(nil), sset.Members()...)
+			sortNodeIDs(om)
+			sortNodeIDs(sm)
+			if fmt.Sprint(om) != fmt.Sprint(sm) {
+				t.Fatalf("BlockInto(%d, %d): overlay %v, freeze %v", a, c, om, sm)
+			}
+		}
+	}
+}
+
+func TestOverlayMirrorsUpdates(t *testing.T) {
+	g := overlayBaseGraph()
+	ov := NewOverlay(g)
+	if !ov.Synced() {
+		t.Fatal("fresh overlay must be synced")
+	}
+	assertOverlayMatchesFreeze(t, ov)
+
+	// New node with a new label and attribute values.
+	id := ov.AddNode("country", Attrs{"val": "AU", "pop": "26m"})
+	if id != 6 {
+		t.Fatalf("AddNode id = %d, want 6", id)
+	}
+	// Edges touching frozen and fresh nodes, including a new edge label.
+	ov.MustAddEdge(1, id, "in_country")
+	ov.MustAddEdge(id, 4, "contains")
+	ov.MustAddEdge(0, 1, "visits") // second labeled edge on a frozen pair
+	// Attribute upsert on a frozen node (copy-on-write over the arena)
+	// and on the fresh node.
+	ov.SetAttr(2, "val", "rewritten")
+	ov.SetAttr(id, "val", "Australia")
+	if !ov.Synced() {
+		t.Fatal("overlay must stay synced through its own mutators")
+	}
+	assertOverlayMatchesFreeze(t, ov)
+
+	if ov.Delta() == 0 {
+		t.Error("delta must grow with patches")
+	}
+	if frac := ov.DeltaFraction(); frac <= 0 {
+		t.Errorf("delta fraction = %v, want > 0", frac)
+	}
+
+	// A mutation bypassing the overlay desynchronizes it.
+	g.SetAttr(0, "val", "behind-the-back")
+	if ov.Synced() {
+		t.Error("direct graph mutation must desynchronize the overlay")
+	}
+}
+
+// TestOverlayLeavesBaseImmutable pins the copy-on-write contract: patches
+// must never leak into the frozen base snapshot another reader may hold.
+func TestOverlayLeavesBaseImmutable(t *testing.T) {
+	g := overlayBaseGraph()
+	base := g.Freeze()
+	wantOut := fmt.Sprint(base.Out(0))
+	wantAttr, _ := base.Attr(2, "val")
+
+	ov := NewOverlay(g)
+	if ov.Base() != base {
+		t.Fatal("overlay must adopt the cached snapshot")
+	}
+	ov.MustAddEdge(0, 4, "visits")
+	ov.SetAttr(2, "val", "rewritten")
+	ov.AddNode("person", Attrs{"val": "new"})
+
+	if got := fmt.Sprint(base.Out(0)); got != wantOut {
+		t.Fatalf("base adjacency mutated: %s -> %s", wantOut, got)
+	}
+	if got, _ := base.Attr(2, "val"); got != wantAttr {
+		t.Fatalf("base attribute mutated: %q -> %q", wantAttr, got)
+	}
+	if got, _ := ov.Graph().Attr(2, "val"); got != "rewritten" {
+		t.Fatalf("graph missed the overlay write: %q", got)
+	}
+}
+
+// TestNodesWithStripePartitions checks the stripe index: for any modulus,
+// the residue sub-ranges partition the label class exactly and preserve
+// ascending order.
+func TestNodesWithStripePartitions(t *testing.T) {
+	g := overlayBaseGraph()
+	for i := 0; i < 40; i++ {
+		g.AddNode([]string{"person", "city"}[i%2], nil)
+	}
+	snap := g.Freeze()
+	for _, label := range []string{"person", "city"} {
+		l := snap.Syms().Lookup(label)
+		class := snap.NodesWith(l)
+		for _, mod := range []int{1, 2, 3, 5, 7} {
+			var union []NodeID
+			for rem := 0; rem < mod; rem++ {
+				part := snap.NodesWithStripe(l, mod, rem)
+				for i, v := range part {
+					if mod > 1 && int(v)%mod != rem {
+						t.Fatalf("%s stripe %d/%d holds %d", label, rem, mod, v)
+					}
+					if i > 0 && part[i-1] >= v {
+						t.Fatalf("%s stripe %d/%d not ascending", label, rem, mod)
+					}
+				}
+				union = append(union, part...)
+			}
+			sortNodeIDs(union)
+			if fmt.Sprint(union) != fmt.Sprint(class) {
+				t.Fatalf("%s stripes mod %d do not partition the class", label, mod)
+			}
+		}
+	}
+	if got := snap.NodesWithStripe(snap.Syms().Lookup("person"), 3, 5); got != nil {
+		t.Fatalf("out-of-range residue must be empty, got %v", got)
+	}
+}
+
+// FuzzOverlayPatch drives random update streams through an Overlay and
+// checks the patch invariants — adjacency sortedness, class ranges,
+// degree counts, attribute tuples — against a from-scratch freeze of the
+// same mutated graph (which is also the compaction oracle: compacting is
+// exactly replacing the overlay with that fresh snapshot).
+func FuzzOverlayPatch(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{2, 2, 2, 9, 9, 1, 0, 4, 7, 7})
+	f.Add([]byte("interleaved-updates"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		g := overlayBaseGraph()
+		ov := NewOverlay(g)
+		labels := []string{"person", "city", "company", "country"}
+		edgeLabels := []string{"lives_in", "works_at", "knows", "based_in"}
+		attrs := []string{"val", "pop", "rank"}
+		rng := rand.New(rand.NewSource(int64(len(ops))))
+		for _, b := range ops {
+			switch b % 3 {
+			case 0:
+				var at Attrs
+				if b%2 == 0 {
+					at = Attrs{attrs[int(b/3)%len(attrs)]: fmt.Sprintf("a%d", b)}
+				}
+				ov.AddNode(labels[int(b/3)%len(labels)], at)
+			case 1:
+				n := ov.NumNodes()
+				from := NodeID(rng.Intn(n))
+				to := NodeID(rng.Intn(n))
+				ov.MustAddEdge(from, to, edgeLabels[int(b/3)%len(edgeLabels)])
+			default:
+				n := ov.NumNodes()
+				ov.SetAttr(NodeID(rng.Intn(n)), attrs[int(b/3)%len(attrs)], fmt.Sprintf("s%d", b))
+			}
+			if !ov.Synced() {
+				t.Fatal("overlay fell out of sync under its own mutators")
+			}
+		}
+		assertOverlayMatchesFreeze(t, ov)
+		// The compacted view (fresh overlay over the re-frozen graph) must
+		// be observationally identical too.
+		assertOverlayMatchesFreeze(t, NewOverlay(g))
+	})
+}

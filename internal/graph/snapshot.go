@@ -52,6 +52,9 @@ type Snapshot struct {
 	classOff []int32  // per Sym: offsets into classNodes (node-label classes)
 	classes  []NodeID // nodes grouped by label code, ascending IDs within a class
 
+	stripeMu sync.RWMutex               // guards stripes
+	stripes  map[stripeKey]*stripeIndex // residue regroupings, per (label, mod)
+
 	scratch sync.Pool // *bfsScratch, reused across Neighborhood traversals
 }
 
@@ -299,7 +302,9 @@ func labelRange(es []CSREdge, l Sym) []CSREdge {
 // HasEdge reports whether a from -[l]-> to edge exists; l == WildcardSym
 // matches any label. Binary search for a concrete label; a linear scan of
 // the smaller endpoint range for the wildcard (label groups make the
-// neighbor column non-monotonic across the whole range).
+// neighbor column non-monotonic across the whole range). The body repeats
+// hasEdgeRanges rather than calling it: this sits in the matcher's
+// per-candidate loop, and the extra call level was a measured regression.
 func (s *Snapshot) HasEdge(from, to NodeID, l Sym) bool {
 	if l == WildcardSym {
 		out := s.Out(from)
@@ -328,6 +333,35 @@ func (s *Snapshot) HasEdge(from, to NodeID, l Sym) bool {
 	return i < len(es) && es[i].Label == l && es[i].To == to
 }
 
+// hasEdgeRanges is the edge-existence test over a node pair's sorted
+// adjacency ranges; the Overlay's HasEdge runs on it (its adjacency
+// slices come from patches or the base arena).
+func hasEdgeRanges(out, in []CSREdge, from, to NodeID, l Sym) bool {
+	if l == WildcardSym {
+		if len(in) < len(out) {
+			for i := range in {
+				if in[i].To == from {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range out {
+			if out[i].To == to {
+				return true
+			}
+		}
+		return false
+	}
+	i := sort.Search(len(out), func(i int) bool {
+		if out[i].Label != l {
+			return out[i].Label > l
+		}
+		return out[i].To >= to
+	})
+	return i < len(out) && out[i].Label == l && out[i].To == to
+}
+
 // NodesWith returns the candidate class of label code l: all nodes carrying
 // it, ascending. The contiguous range replaces the mutable graph's
 // map[string][]NodeID lookup. Shared; read-only.
@@ -349,6 +383,74 @@ func (s *Snapshot) ClassSize(l Sym) int {
 		return 0
 	}
 	return int(s.classOff[l+1] - s.classOff[l])
+}
+
+// stripeKey identifies one cached residue regrouping of a label class.
+type stripeKey struct {
+	l   Sym
+	mod int
+}
+
+// stripeIndex is a label class regrouped by node-ID residue: nodes holds
+// the class permuted so each residue's members are contiguous (ascending
+// within a residue), off[r]..off[r+1] delimiting residue r.
+type stripeIndex struct {
+	off   []int32
+	nodes []NodeID
+}
+
+// NodesWithStripe returns the candidates of label class l whose ID is
+// congruent to rem modulo mod — the exact residue sub-range the
+// replicate-and-split stripes enumerate, replacing the per-candidate
+// `v mod m == r` filter. The regrouping is computed once per (label, mod)
+// pair and cached; steady-state calls are a lock-shared map hit returning
+// a subslice. Safe for concurrent use.
+func (s *Snapshot) NodesWithStripe(l Sym, mod, rem int) []NodeID {
+	if mod <= 1 {
+		return s.NodesWith(l)
+	}
+	if rem < 0 || rem >= mod {
+		return nil
+	}
+	key := stripeKey{l, mod}
+	s.stripeMu.RLock()
+	ix, ok := s.stripes[key]
+	s.stripeMu.RUnlock()
+	if !ok {
+		ix = buildStripeIndex(s.NodesWith(l), mod)
+		s.stripeMu.Lock()
+		if prev, dup := s.stripes[key]; dup {
+			ix = prev // a racing builder won; share its index
+		} else {
+			if s.stripes == nil {
+				s.stripes = make(map[stripeKey]*stripeIndex)
+			}
+			s.stripes[key] = ix
+		}
+		s.stripeMu.Unlock()
+	}
+	return ix.nodes[ix.off[rem]:ix.off[rem+1]]
+}
+
+// buildStripeIndex counting-sorts a class by ID residue.
+func buildStripeIndex(class []NodeID, mod int) *stripeIndex {
+	ix := &stripeIndex{
+		off:   make([]int32, mod+1),
+		nodes: make([]NodeID, len(class)),
+	}
+	for _, v := range class {
+		ix.off[int(v)%mod+1]++
+	}
+	for r := 1; r <= mod; r++ {
+		ix.off[r] += ix.off[r-1]
+	}
+	fill := append([]int32(nil), ix.off[:mod]...)
+	for _, v := range class {
+		r := int(v) % mod
+		ix.nodes[fill[r]] = v
+		fill[r]++
+	}
+	return ix
 }
 
 // bfsScratch is reusable traversal state: an epoch-stamped visited array

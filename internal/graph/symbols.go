@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Sym is a dense interned code for a node label, edge label, attribute
 // name, or attribute value. Snapshots compare labels as Sym equality
 // instead of string comparison in the matching inner loop, and literal
@@ -28,10 +30,16 @@ const (
 // including the wildcard check, and package core lowers X → Y literals
 // onto it so per-match attribute checking is integer equality too.
 //
-// Intern mutates the table and must not be called concurrently; Lookup and
-// Name are read-only and safe to share across goroutines once the table is
-// fully built (the freeze-then-match lifecycle guarantees this).
+// The table is safe for concurrent use: Lookup/Name/Len take a shared
+// lock, Intern an exclusive one. Codes are append-only, so readers always
+// observe a consistent prefix. This matters for the delta-overlay
+// lifecycle, where a live table can be grown (rule lowering against an
+// Overlay interns labels and constants) while other prepared rule sets
+// compile against it; the per-match hot paths never touch the table — they
+// run on resolved codes. Freeze-time bulk interning goes through the same
+// lock; the cost is noise against the O(|V|+|E| log d) build.
 type Symbols struct {
+	mu    sync.RWMutex
 	codes map[string]Sym
 	names []string
 }
@@ -46,6 +54,8 @@ func NewSymbols() *Symbols {
 // Intern returns the code of name, assigning the next dense code if the
 // name is new.
 func (s *Symbols) Intern(name string) Sym {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c, ok := s.codes[name]; ok {
 		return c
 	}
@@ -57,6 +67,8 @@ func (s *Symbols) Intern(name string) Sym {
 
 // Lookup returns the code of name without interning; NoSym if absent.
 func (s *Symbols) Lookup(name string) Sym {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if c, ok := s.codes[name]; ok {
 		return c
 	}
@@ -64,7 +76,15 @@ func (s *Symbols) Lookup(name string) Sym {
 }
 
 // Name returns the string a code was interned from.
-func (s *Symbols) Name(c Sym) string { return s.names[c] }
+func (s *Symbols) Name(c Sym) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.names[c]
+}
 
 // Len returns the number of interned names.
-func (s *Symbols) Len() int { return len(s.names) }
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}

@@ -1,0 +1,79 @@
+package graph
+
+// Topology is the compiled execution view of a graph that the match and
+// validation engines run against: interned labels, (label, neighbor)-sorted
+// adjacency, contiguous per-label candidate classes, interned attribute
+// lookup, and the BFS primitives the workload model is built on.
+//
+// Two implementations exist:
+//
+//   - *Snapshot — the immutable CSR view built by Graph.Freeze. This is the
+//     fast path: flat arrays, zero steady-state allocation, safe for any
+//     number of concurrent readers.
+//   - *Overlay — a base Snapshot plus localized patches maintained under
+//     AddNode/AddEdge/SetAttr updates. It serves the incremental detector
+//     and the session's post-update bundles without re-freezing the whole
+//     graph per update batch.
+//
+// Every Topology is safe for concurrent readers while it is not being
+// mutated; mutating an Overlay (or the underlying Graph) concurrently with
+// matching is not safe — the same contract Graph.Freeze always had.
+type Topology interface {
+	// Syms returns the symbol table labels, attribute names and values are
+	// interned in. Patterns are compiled against it (pattern.CompileFor)
+	// and X → Y literals lower onto it (core.LiteralProgram).
+	Syms() *Symbols
+	// NumNodes returns |V| as seen by this view.
+	NumNodes() int
+	// Label returns the interned label code of node v.
+	Label(v NodeID) Sym
+	// AttrSym returns the interned value of attribute name on node v, or
+	// (NoSym, false) when the node does not carry it. This is the
+	// core.AttrSource contract, so literal programs evaluate directly
+	// against any Topology.
+	AttrSym(v NodeID, name Sym) (Sym, bool)
+	// Out returns v's out-adjacency sorted by (Label, To). Shared; read-only.
+	Out(v NodeID) []CSREdge
+	// In returns v's in-adjacency (CSREdge.To is the edge source), sorted
+	// by (Label, To). Shared; read-only.
+	In(v NodeID) []CSREdge
+	// OutDegree returns the number of out-edges of v.
+	OutDegree(v NodeID) int
+	// InDegree returns the number of in-edges of v.
+	InDegree(v NodeID) int
+	// OutWith returns the contiguous subrange of v's out-adjacency carrying
+	// edge label l; the whole range for WildcardSym.
+	OutWith(v NodeID, l Sym) []CSREdge
+	// InWith is OutWith over the in-adjacency.
+	InWith(v NodeID, l Sym) []CSREdge
+	// HasEdge reports whether a from -[l]-> to edge exists; l == WildcardSym
+	// matches any label.
+	HasEdge(from, to NodeID, l Sym) bool
+	// NodesWith returns the candidate class of label code l: all nodes
+	// carrying it, ascending. Shared; read-only.
+	NodesWith(l Sym) []NodeID
+	// NodesWithStripe returns the candidates of label l whose node ID is
+	// congruent to rem modulo mod — the replicate-and-split residue class.
+	// Implementations may over-approximate (return a superset, up to the
+	// whole class); callers must keep the residue filter. The Snapshot
+	// returns the exact precomputed sub-range.
+	NodesWithStripe(l Sym, mod, rem int) []NodeID
+	// ClassSize returns the number of nodes carrying label code l.
+	ClassSize(l Sym) int
+	// Neighborhood returns the nodes within c undirected hops of start,
+	// including start, sorted ascending.
+	Neighborhood(start NodeID, c int) []NodeID
+	// NeighborhoodSize returns |V'| + |E'| of the subgraph induced by the
+	// c-hop neighborhood of start — the |G_z̄| block-size measure.
+	NeighborhoodSize(start NodeID, c int) int
+	// BlockInto adds to set every node within c undirected hops of start
+	// (including start) — the allocation-free block fill engines use.
+	BlockInto(set *EpochSet, start NodeID, c int)
+}
+
+// Compile-time interface checks: both execution views implement the full
+// Topology contract.
+var (
+	_ Topology = (*Snapshot)(nil)
+	_ Topology = (*Overlay)(nil)
+)

@@ -168,13 +168,16 @@ func TestIncrementalRevalidatesFewUnits(t *testing.T) {
 	}
 }
 
-func TestUnitKeyDistinct(t *testing.T) {
-	if unitKey(1, []graph.NodeID{2, 3}) == unitKey(12, []graph.NodeID{3}) {
+func TestUnitIDDistinct(t *testing.T) {
+	if makeUnitID(1, []graph.NodeID{2, 3}) == makeUnitID(12, []graph.NodeID{3}) {
 		t.Error("unit keys must not collide across rule/candidate splits")
+	}
+	if makeUnitID(1, []graph.NodeID{2}) == makeUnitID(1, []graph.NodeID{2, 3}) {
+		t.Error("unit keys must encode the full candidate vector")
 	}
 }
 
-func TestNewWithIndexSharesMaintainedIndex(t *testing.T) {
+func TestNewOnOverlaySharesMaintainedView(t *testing.T) {
 	g := graph.New(0, 0)
 	au := g.AddNode("country", graph.Attrs{"val": "AU"})
 	c1 := g.AddNode("city", graph.Attrs{"val": "Canberra"})
@@ -190,18 +193,22 @@ func TestNewWithIndexSharesMaintainedIndex(t *testing.T) {
 	agree(t, d1, g, set)
 
 	// Mutate through the detector: the graph version advances and the
-	// index follows, so the detector stays synced and a second detector
-	// can be built over the same index.
+	// overlay follows, so the detector stays synced and a second detector
+	// can be built over the same maintained view without a freeze.
 	d1.Apply(SetAttr{Node: c2, Attr: "val", Value: "Canberra"})
 	if !d1.Synced() {
 		t.Fatal("detector must remain synced after Apply")
 	}
-	d2 := NewWithIndex(g, set, d1.AttrIndex())
-	if d2.AttrIndex() != d1.AttrIndex() {
-		t.Fatal("NewWithIndex must adopt the supplied index")
+	builds := g.SnapshotBuilds()
+	d2 := NewOnOverlay(d1.Overlay(), set)
+	if d2.Overlay() != d1.Overlay() {
+		t.Fatal("NewOnOverlay must adopt the supplied overlay")
+	}
+	if g.SnapshotBuilds() != builds {
+		t.Fatalf("adopting a maintained overlay must not freeze (builds %d -> %d)", builds, g.SnapshotBuilds())
 	}
 	agree(t, d2, g, set)
-	// Updates through the new detector keep the shared index usable by
+	// Updates through the new detector keep the shared overlay usable by
 	// the first one's compiled programs (codes only grow).
 	d2.Apply(SetAttr{Node: c2, Attr: "val", Value: "Sydney"})
 	agree(t, d2, g, set)

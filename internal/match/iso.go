@@ -14,11 +14,14 @@
 // Two execution paths produce the same match set:
 //
 //   - Enumerate/Count/Has/All walk the mutable *graph.Graph directly. This
-//     is the portable reference path, kept for callers that interleave
-//     matching with mutation (incremental maintenance, targeted noise).
-//   - Matcher (matcher.go) runs against a frozen *graph.Snapshot — interned
-//     labels, CSR adjacency, zero steady-state allocations — and is what
-//     the validation engines use. Build graphs, g.Freeze(), then match.
+//     is the portable reference path, kept as the differential-test oracle
+//     and for ad-hoc callers (targeted noise injection).
+//   - Matcher (matcher.go) runs against a graph.Topology — the frozen
+//     *graph.Snapshot (interned labels, CSR adjacency, zero steady-state
+//     allocations; what the batch engines use) or a *graph.Overlay (the
+//     snapshot plus update patches; what the incremental detector and
+//     post-update sessions use). Build graphs, g.Freeze() (or maintain an
+//     overlay), then match.
 package match
 
 import (

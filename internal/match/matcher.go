@@ -7,22 +7,30 @@ import (
 )
 
 // Matcher is the compiled-representation enumerator: it runs the same
-// backtracking search as Enumerate, but against a frozen *graph.Snapshot —
-// interned integer labels, CSR adjacency sorted by (label, neighbor), a
-// flat []bool used-set, and contiguous per-label candidate ranges. After
-// warm-up (first call per pattern shape) an enumeration performs zero
-// steady-state allocations: candidates are iterated directly off snapshot
-// ranges, never materialized.
+// backtracking search as Enumerate, but against a graph.Topology — the
+// frozen *graph.Snapshot on the batch path, or a *graph.Overlay (base
+// snapshot plus update patches) on the incremental path. Interned integer
+// labels, CSR adjacency sorted by (label, neighbor), a flat []bool
+// used-set, and contiguous per-label candidate ranges. After warm-up
+// (first call per pattern shape) an enumeration over a Snapshot performs
+// zero steady-state allocations: candidates are iterated directly off
+// topology ranges, never materialized.
 //
 // A Matcher is NOT safe for concurrent use — it owns reusable search
 // buffers. Engines create one Matcher per worker; all of them share one
-// Snapshot, which is read-only.
+// Topology, which is read-only during matching.
 //
 // Candidate generation prefers the smallest label-filtered adjacency range
 // among already-matched pattern neighbors (set intersection driven by the
 // most selective sorted range, remaining constraints checked by binary
-// search), falling back to the pattern node's label class.
+// search), falling back to the pattern node's label class — or, for a
+// striped node, the class's precomputed residue sub-range.
 type Matcher struct {
+	topo graph.Topology
+	// snap is the devirtualized fast path: non-nil exactly when topo is a
+	// *graph.Snapshot, so the per-candidate accessors (label, degrees,
+	// adjacency ranges) stay direct, inlinable calls on the batch path and
+	// only the overlay pays interface dispatch.
 	snap *graph.Snapshot
 
 	// Reusable search state.
@@ -30,6 +38,7 @@ type Matcher struct {
 	assign core.Match // pattern node -> graph node
 	order  []int      // matching order
 	placed []bool     // planOrder scratch
+	est    []int      // planOrder scratch: candidate estimate per pattern node
 
 	// Per-call state.
 	q     *pattern.Pattern
@@ -41,25 +50,36 @@ type Matcher struct {
 	halt  bool
 }
 
-// NewMatcher returns a matcher over snap.
-func NewMatcher(snap *graph.Snapshot) *Matcher {
-	return &Matcher{
-		snap: snap,
-		used: make([]bool, snap.NumNodes()),
+// NewMatcher returns a matcher over t.
+func NewMatcher(t graph.Topology) *Matcher {
+	m := &Matcher{
+		topo: t,
+		used: make([]bool, t.NumNodes()),
 	}
+	m.snap, _ = t.(*graph.Snapshot)
+	return m
 }
 
-// Snapshot returns the frozen graph this matcher runs against.
-func (m *Matcher) Snapshot() *graph.Snapshot { return m.snap }
+// Topo returns the topology this matcher runs against.
+func (m *Matcher) Topo() graph.Topology { return m.topo }
 
-// Enumerate calls yield for every match of q in the snapshot under opts, in
-// a deterministic order (ascending within each candidate range). The match
-// set is exactly Enumerate's on the unfrozen graph; only the order may
-// differ. (One carve-out: if a graph violates the documented no-duplicate-
-// edge invariant, the legacy path can yield the same match once per
-// parallel (from, to, label) duplicate; this path always yields it once.)
-// The Match slice passed to yield is reused across calls; callers that
-// retain it must copy it.
+// numNodes is shared by buffer sizing on both paths; the nil-check keeps
+// the snapshot read direct.
+func (m *Matcher) numNodes() int {
+	if m.snap != nil {
+		return m.snap.NumNodes()
+	}
+	return m.topo.NumNodes()
+}
+
+// Enumerate calls yield for every match of q in the topology under opts,
+// in a deterministic order (ascending within each candidate range). The
+// match set is exactly Enumerate's on the unfrozen graph; only the order
+// may differ. (One carve-out: if a graph violates the documented
+// no-duplicate-edge invariant, the legacy path can yield the same match
+// once per parallel (from, to, label) duplicate; this path always yields
+// it once.) The Match slice passed to yield is reused across calls;
+// callers that retain it must copy it.
 func (m *Matcher) Enumerate(q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
 	n := q.NumNodes()
 	if n == 0 {
@@ -70,7 +90,11 @@ func (m *Matcher) Enumerate(q *pattern.Pattern, opts Options, yield func(core.Ma
 	m.n, m.found, m.halt = n, 0, false
 	m.ensure(n)
 	m.planOrder()
-	m.extend(0)
+	if m.snap != nil {
+		m.extendSnap(0)
+	} else {
+		m.extend(0)
+	}
 	m.yield = nil
 }
 
@@ -104,23 +128,30 @@ func (m *Matcher) All(q *pattern.Pattern, opts Options) []core.Match {
 	return out
 }
 
-// compiledFor lowers q onto the snapshot's symbol table, memoized on the
+// compiledFor lowers q onto the topology's symbol table, memoized on the
 // pattern itself (pattern.CompileFor), so matchers are cheap to construct
 // and workers sharing rule patterns share the lowering.
 func (m *Matcher) compiledFor(q *pattern.Pattern) *pattern.Compiled {
-	return pattern.CompileFor(q, m.snap.Syms())
+	return pattern.CompileFor(q, m.topo.Syms())
 }
 
-// ensure sizes the reusable buffers for an n-node pattern.
+// ensure sizes the reusable buffers for an n-node pattern, growing the
+// used-set when the topology gained nodes since the last call (an Overlay
+// between update batches).
 func (m *Matcher) ensure(n int) {
+	if v := m.numNodes(); len(m.used) < v {
+		m.used = make([]bool, v)
+	}
 	if cap(m.assign) < n {
 		m.assign = make(core.Match, n)
 		m.order = make([]int, n)
 		m.placed = make([]bool, n)
+		m.est = make([]int, n)
 	}
 	m.assign = m.assign[:n]
 	m.order = m.order[:n]
 	m.placed = m.placed[:n]
+	m.est = m.est[:n]
 	for i := 0; i < n; i++ {
 		m.assign[i] = graph.Invalid
 		m.placed[i] = false
@@ -130,9 +161,23 @@ func (m *Matcher) ensure(n int) {
 // planOrder mirrors the legacy searcher's matching order — pinned nodes
 // first, then BFS growth from placed nodes preferring small candidate
 // estimates, new components seeded by the most selective node — using
-// snapshot class sizes as estimates and no allocations.
+// topology class sizes as estimates and no allocations.
 func (m *Matcher) planOrder() {
 	n := m.n
+	// Candidate estimates are constant during planning; resolving them
+	// once per pattern node keeps the O(|Q|²) selection loops on plain
+	// array reads (and off the Topology interface on the overlay path).
+	for v := 0; v < n; v++ {
+		sym := m.cq.NodeSyms[v]
+		switch {
+		case sym == graph.WildcardSym:
+			m.est[v] = m.numNodes()
+		case m.snap != nil:
+			m.est[v] = m.snap.ClassSize(sym)
+		default:
+			m.est[v] = m.topo.ClassSize(sym)
+		}
+	}
 	k := 0
 	for i := 0; i < n; i++ {
 		if _, ok := m.opts.Pin[i]; ok {
@@ -146,20 +191,20 @@ func (m *Matcher) planOrder() {
 		for oi := 0; oi < k; oi++ {
 			p := m.order[oi]
 			for _, ei := range m.q.OutEdges(p) {
-				if w := int(m.cq.Edges[ei].To); !m.placed[w] && m.estimate(w) < bestEst {
-					next, bestEst = w, m.estimate(w)
+				if w := int(m.cq.Edges[ei].To); !m.placed[w] && m.est[w] < bestEst {
+					next, bestEst = w, m.est[w]
 				}
 			}
 			for _, ei := range m.q.InEdges(p) {
-				if w := int(m.cq.Edges[ei].From); !m.placed[w] && m.estimate(w) < bestEst {
-					next, bestEst = w, m.estimate(w)
+				if w := int(m.cq.Edges[ei].From); !m.placed[w] && m.est[w] < bestEst {
+					next, bestEst = w, m.est[w]
 				}
 			}
 		}
 		if next < 0 {
 			for v := 0; v < n; v++ {
-				if !m.placed[v] && m.estimate(v) < bestEst {
-					next, bestEst = v, m.estimate(v)
+				if !m.placed[v] && m.est[v] < bestEst {
+					next, bestEst = v, m.est[v]
 				}
 			}
 		}
@@ -167,15 +212,6 @@ func (m *Matcher) planOrder() {
 		m.order[k] = next
 		k++
 	}
-}
-
-// estimate is the candidate-count upper bound used by the planner.
-func (m *Matcher) estimate(v int) int {
-	sym := m.cq.NodeSyms[v]
-	if sym == graph.WildcardSym {
-		return m.snap.NumNodes()
-	}
-	return m.snap.ClassSize(sym)
 }
 
 func (m *Matcher) extend(depth int) {
@@ -205,7 +241,7 @@ func (m *Matcher) extend(depth int) {
 	for _, ei := range m.q.InEdges(u) {
 		e := m.cq.Edges[ei]
 		if from := m.assign[e.From]; from != graph.Invalid {
-			if r := m.snap.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
+			if r := m.topo.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
 			}
 		}
@@ -213,7 +249,7 @@ func (m *Matcher) extend(depth int) {
 	for _, ei := range m.q.OutEdges(u) {
 		e := m.cq.Edges[ei]
 		if to := m.assign[e.To]; to != graph.Invalid {
-			if r := m.snap.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
+			if r := m.topo.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
 			}
 		}
@@ -235,10 +271,18 @@ func (m *Matcher) extend(depth int) {
 		}
 		return
 	}
-	// Fresh component: label class range, or all nodes for a wildcard.
+	// Fresh component: label class range — narrowed to the precomputed
+	// residue sub-range when this node carries the stripe constraint — or
+	// all nodes for a wildcard.
 	sym := m.cq.NodeSyms[u]
 	if sym != graph.WildcardSym {
-		for _, v := range m.snap.NodesWith(sym) {
+		var cands []graph.NodeID
+		if m.opts.StripeMod > 0 && u == m.opts.StripeNode {
+			cands = m.topo.NodesWithStripe(sym, m.opts.StripeMod, m.opts.StripeRem)
+		} else {
+			cands = m.topo.NodesWith(sym)
+		}
+		for _, v := range cands {
 			m.try(depth, u, v)
 			if m.halt {
 				return
@@ -246,7 +290,7 @@ func (m *Matcher) extend(depth int) {
 		}
 		return
 	}
-	for v := 0; v < m.snap.NumNodes(); v++ {
+	for v := 0; v < m.topo.NumNodes(); v++ {
 		m.try(depth, u, graph.NodeID(v))
 		if m.halt {
 			return
@@ -271,8 +315,151 @@ func (m *Matcher) try(depth, u int, v graph.NodeID) {
 
 // feasible verifies block membership, striping, node label, degree bounds,
 // and every pattern edge between u and an already-assigned node (binary
-// searches over sorted CSR ranges).
+// searches over sorted CSR ranges). The stripe check stays here even
+// though striped class enumeration pre-filters (NodesWithStripe):
+// adjacency-driven candidates are not pre-filtered, and an Overlay's
+// stripe ranges are allowed to over-approximate.
 func (m *Matcher) feasible(u int, v graph.NodeID) bool {
+	if m.opts.Block != nil && !m.opts.Block.Contains(v) {
+		return false
+	}
+	if m.opts.StripeMod > 0 && u == m.opts.StripeNode && int(v)%m.opts.StripeMod != m.opts.StripeRem {
+		return false
+	}
+	if !pattern.LabelMatchesSym(m.cq.NodeSyms[u], m.topo.Label(v)) {
+		return false
+	}
+	if len(m.q.OutEdges(u)) > m.topo.OutDegree(v) || len(m.q.InEdges(u)) > m.topo.InDegree(v) {
+		return false
+	}
+	for _, ei := range m.q.OutEdges(u) {
+		e := m.cq.Edges[ei]
+		to := m.assign[e.To]
+		if int(e.To) == u {
+			to = v // self-loop
+		}
+		if to == graph.Invalid {
+			continue
+		}
+		if !m.topo.HasEdge(v, to, e.Label) {
+			return false
+		}
+	}
+	for _, ei := range m.q.InEdges(u) {
+		e := m.cq.Edges[ei]
+		if int(e.From) == u {
+			continue // self-loop handled above
+		}
+		from := m.assign[e.From]
+		if from == graph.Invalid {
+			continue
+		}
+		if !m.topo.HasEdge(from, v, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// The snapshot-specialized search: extendSnap/trySnap/feasibleSnap are
+// the exact generic extend/try/feasible with every topology access made a
+// direct (inlinable) call on *graph.Snapshot. The duplication exists
+// because the batch engines' per-candidate inner loop is the system's
+// hottest code: routing it through interface dispatch (or even through
+// nil-checked wrapper methods, which Go's inliner rejects at this size)
+// measurably slows every engine, and the tentpole contract is zero
+// regression on the pure-snapshot path. Behavioral changes MUST be made
+// to both copies; the differential tests run each against the other's
+// reference path.
+
+func (m *Matcher) extendSnap(depth int) {
+	if m.halt {
+		return
+	}
+	if depth == m.n {
+		m.found++
+		if !m.yield(m.assign) {
+			m.halt = true
+		}
+		if m.opts.Limit > 0 && m.found >= m.opts.Limit {
+			m.halt = true
+		}
+		return
+	}
+	u := m.order[depth]
+	if v, ok := m.opts.Pin[u]; ok {
+		m.trySnap(depth, u, v)
+		return
+	}
+	var best []graph.CSREdge
+	bestLen := -1
+	for _, ei := range m.q.InEdges(u) {
+		e := m.cq.Edges[ei]
+		if from := m.assign[e.From]; from != graph.Invalid {
+			if r := m.snap.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
+				best, bestLen = r, len(r)
+			}
+		}
+	}
+	for _, ei := range m.q.OutEdges(u) {
+		e := m.cq.Edges[ei]
+		if to := m.assign[e.To]; to != graph.Invalid {
+			if r := m.snap.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
+				best, bestLen = r, len(r)
+			}
+		}
+	}
+	if bestLen >= 0 {
+		for i := range best {
+			if i > 0 && best[i] == best[i-1] {
+				continue // adjacent duplicate triple; see extend
+			}
+			m.trySnap(depth, u, best[i].To)
+			if m.halt {
+				return
+			}
+		}
+		return
+	}
+	sym := m.cq.NodeSyms[u]
+	if sym != graph.WildcardSym {
+		var cands []graph.NodeID
+		if m.opts.StripeMod > 0 && u == m.opts.StripeNode {
+			cands = m.snap.NodesWithStripe(sym, m.opts.StripeMod, m.opts.StripeRem)
+		} else {
+			cands = m.snap.NodesWith(sym)
+		}
+		for _, v := range cands {
+			m.trySnap(depth, u, v)
+			if m.halt {
+				return
+			}
+		}
+		return
+	}
+	for v := 0; v < m.snap.NumNodes(); v++ {
+		m.trySnap(depth, u, graph.NodeID(v))
+		if m.halt {
+			return
+		}
+	}
+}
+
+func (m *Matcher) trySnap(depth, u int, v graph.NodeID) {
+	if m.used[v] {
+		return
+	}
+	if !m.feasibleSnap(u, v) {
+		return
+	}
+	m.assign[u] = v
+	m.used[v] = true
+	m.extendSnap(depth + 1)
+	m.used[v] = false
+	m.assign[u] = graph.Invalid
+}
+
+func (m *Matcher) feasibleSnap(u int, v graph.NodeID) bool {
 	if m.opts.Block != nil && !m.opts.Block.Contains(v) {
 		return false
 	}
@@ -314,18 +501,18 @@ func (m *Matcher) feasible(u int, v graph.NodeID) bool {
 	return true
 }
 
-// EnumerateSnapshot is Enumerate over a frozen snapshot with a throwaway
+// EnumerateSnapshot is Enumerate over a compiled topology with a throwaway
 // Matcher; callers with repeated enumerations should hold a Matcher.
-func EnumerateSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
-	NewMatcher(s).Enumerate(q, opts, yield)
+func EnumerateSnapshot(t graph.Topology, q *pattern.Pattern, opts Options, yield func(core.Match) bool) {
+	NewMatcher(t).Enumerate(q, opts, yield)
 }
 
-// CountSnapshot counts matches over a frozen snapshot.
-func CountSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options) int {
-	return NewMatcher(s).Count(q, opts)
+// CountSnapshot counts matches over a compiled topology.
+func CountSnapshot(t graph.Topology, q *pattern.Pattern, opts Options) int {
+	return NewMatcher(t).Count(q, opts)
 }
 
-// AllSnapshot returns every match (copied) over a frozen snapshot.
-func AllSnapshot(s *graph.Snapshot, q *pattern.Pattern, opts Options) []core.Match {
-	return NewMatcher(s).All(q, opts)
+// AllSnapshot returns every match (copied) over a compiled topology.
+func AllSnapshot(t graph.Topology, q *pattern.Pattern, opts Options) []core.Match {
+	return NewMatcher(t).All(q, opts)
 }

@@ -26,9 +26,21 @@ type Compiled struct {
 }
 
 // compiledEntry pins a Compiled to the symbol table it was lowered on.
+// symsLen and noSym handle growing tables (graph.Overlay interns new
+// names into its base snapshot's table): an entry that lowered some label
+// to NoSym is only trusted while the table has not grown, because the
+// missing label may have been interned since; an entry with every label
+// resolved can never go stale (codes are append-only).
 type compiledEntry struct {
-	syms *graph.Symbols
-	c    *Compiled
+	syms    *graph.Symbols
+	symsLen int
+	noSym   bool
+	c       *Compiled
+}
+
+// current reports whether the entry is still valid for its table.
+func (e *compiledEntry) current(syms *graph.Symbols) bool {
+	return e.syms == syms && (!e.noSym || e.symsLen == syms.Len())
 }
 
 // CompileFor is Compile memoized on the pattern per symbol table: engines
@@ -41,38 +53,83 @@ type compiledEntry struct {
 // evict each other — each keeps its "lowered once per (graph version,
 // rule set)" guarantee. Dead tables' entries are dropped once the list
 // outgrows a small bound, keeping the memo from pinning old snapshots of
-// a long-lived mutating graph.
+// a long-lived mutating graph. Stale entries over a table that has grown
+// past an unresolved label (see compiledEntry) are recompiled and
+// replaced in place.
 func CompileFor(q *Pattern, syms *graph.Symbols) *Compiled {
 	entries := q.compiled.Load()
 	if entries != nil {
-		for _, e := range *entries {
-			if e.syms == syms {
-				return e.c
+		for i := range *entries {
+			if (*entries)[i].current(syms) {
+				return (*entries)[i].c
 			}
 		}
 	}
+	// The table length is captured BEFORE compiling: a concurrent Intern
+	// between Compile's lookups and the length read would otherwise stamp
+	// a NoSym lowering with the post-intern length, making the stale entry
+	// look current forever (the pattern would silently match nothing).
+	// Captured-early, such an interleaving only makes the entry look stale
+	// and recompile once — the safe direction.
+	lenBefore := syms.Len()
 	c := Compile(q, syms)
+	fresh := compiledEntry{syms: syms, symsLen: lenBefore, noSym: hasNoSym(c), c: c}
 	for {
 		old := q.compiled.Load()
 		var next []compiledEntry
 		if old != nil {
-			// Re-check under the CAS loop (a racing compile may have won).
-			for _, e := range *old {
-				if e.syms == syms {
-					return e.c
+			// Re-check under the CAS loop (a racing compile may have won),
+			// dropping any stale entry for this table along the way.
+			for i := range *old {
+				if (*old)[i].current(syms) {
+					return (*old)[i].c
+				}
+				if (*old)[i].syms != syms {
+					next = append(next, (*old)[i])
 				}
 			}
-			if len(*old) >= maxCompiledEntries {
+			if len(next) >= maxCompiledEntries {
 				// Keep the newest entries; the evicted tables recompile on
 				// their next use (correctness is unaffected).
-				next = append(next, (*old)[len(*old)-maxCompiledEntries+1:]...)
-			} else {
-				next = append(next, *old...)
+				next = next[len(next)-maxCompiledEntries+1:]
 			}
 		}
-		next = append(next, compiledEntry{syms: syms, c: c})
+		next = append(next, fresh)
 		if q.compiled.CompareAndSwap(old, &next) {
 			return c
+		}
+	}
+}
+
+// hasNoSym reports whether any node or edge label lowered to NoSym.
+func hasNoSym(c *Compiled) bool {
+	for _, s := range c.NodeSyms {
+		if s == graph.NoSym {
+			return true
+		}
+	}
+	for _, e := range c.Edges {
+		if e.Label == graph.NoSym {
+			return true
+		}
+	}
+	return false
+}
+
+// InternInto interns every non-wildcard node and edge label of q into
+// syms — the pattern analogue of GFD.InternLiterals, required before
+// compiling against a growing table (graph.Overlay): a label lowered to
+// NoSym must mean "matches nothing", which only holds when the table is
+// the sole authority on the label universe.
+func InternInto(q *Pattern, syms *graph.Symbols) {
+	for _, n := range q.Nodes {
+		if n.Label != Wildcard {
+			syms.Intern(n.Label)
+		}
+	}
+	for _, e := range q.Edges {
+		if e.Label != Wildcard {
+			syms.Intern(e.Label)
 		}
 	}
 }

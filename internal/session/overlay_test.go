@@ -1,0 +1,289 @@
+// Tests for the session's delta-overlay update lifecycle: Apply folds
+// small mutations into a maintained overlay, prepared bundles follow
+// without re-freezing (the Graph.SnapshotBuilds probe), and compaction
+// kicks in once the delta outgrows the base.
+package session_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sync"
+
+	"gfd/internal/core"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+	"gfd/internal/incremental"
+	"gfd/internal/pattern"
+	"gfd/internal/session"
+	"gfd/internal/validate"
+)
+
+// TestApplySweepNeverRefreezes is the acceptance probe: a sweep of update
+// batches applied through Session.Apply, with Detect rounds after every
+// batch, must build exactly one snapshot (the initial Prepare) while
+// agreeing with a cold re-frozen session on a clone after every batch.
+func TestApplySweepNeverRefreezes(t *testing.T) {
+	ctx := context.Background()
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 50, Seed: 8})
+	set := gen.MineGFDs(g, gen.MineConfig{NumRules: 4, PatternSize: 3, TwoCompFrac: 0.3, Seed: 9})
+	if set.Len() == 0 {
+		t.Skip("no rules mined")
+	}
+	sess := session.New(g)
+	prep, err := sess.Prepare(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Detect(ctx, validate.Options{Engine: validate.EngineReplicated, N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SnapshotBuilds(); got != 1 {
+		t.Fatalf("prepare + first detect built %d snapshots, want 1", got)
+	}
+
+	labels := g.Labels()
+	rng := rand.New(rand.NewSource(10))
+	for batch := 0; batch < 5; batch++ {
+		var ups []incremental.Update
+		ups = append(ups,
+			incremental.AddNode{Label: labels[rng.Intn(len(labels))], Attrs: graph.Attrs{"val": fmt.Sprintf("u%d", batch)}},
+			incremental.SetAttr{Node: graph.NodeID(rng.Intn(g.NumNodes())), Attr: "val", Value: "zap"},
+		)
+		from := graph.NodeID(rng.Intn(g.NumNodes()))
+		to := graph.NodeID(rng.Intn(g.NumNodes()))
+		if from != to {
+			ups = append(ups, incremental.AddEdge{From: from, To: to, Label: "related_to"})
+		}
+		sess.Apply(ups...)
+		for _, engine := range []validate.Engine{validate.EngineSequential, validate.EngineReplicated} {
+			res, err := prep.Detect(ctx, validate.Options{Engine: engine, N: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cold reference: fresh session over a clone re-freezes and must
+			// agree with the overlay-backed warm path.
+			refPrep, err := session.New(g.Clone()).Prepare(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refPrep.Detect(ctx, validate.Options{Engine: engine, N: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != len(ref.Violations) {
+				t.Fatalf("batch %d %v: overlay path found %d violations, re-freeze %d",
+					batch, engine, len(res.Violations), len(ref.Violations))
+			}
+			for i := range res.Violations {
+				if res.Violations[i].Key() != ref.Violations[i].Key() {
+					t.Fatalf("batch %d %v: violation %d differs: %s vs %s", batch, engine, i,
+						res.Violations[i].Key(), ref.Violations[i].Key())
+				}
+			}
+		}
+	}
+	if got := g.SnapshotBuilds(); got != 1 {
+		t.Fatalf("update sweep built %d snapshots, want 1 (zero rebuilds after the initial freeze)", got)
+	}
+
+	// A mutation bypassing the session still forces exactly one re-freeze.
+	g.SetAttr(0, "val", "direct")
+	if _, err := prep.Detect(ctx, validate.Options{Engine: validate.EngineSequential}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SnapshotBuilds(); got != 2 {
+		t.Fatalf("direct mutation should re-freeze once, builds = %d, want 2", got)
+	}
+}
+
+// TestApplyCompactsPastFraction pins the compaction policy: a sustained
+// update stream whose cumulative delta repeatedly crosses the size
+// fraction compacts — the freeze count grows — but far more slowly than
+// the batch count, because each compaction folds the patches into a
+// larger base (amortized O(|G|) per Ω(|G|) updates).
+func TestApplyCompactsPastFraction(t *testing.T) {
+	ctx := context.Background()
+	_, set, _ := capitalWorkload() // only the rule set; the graph is built below
+	g := graph.New(64, 64)
+	au := g.AddNode("country", graph.Attrs{"val": "AU"})
+	g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": "Canberra"}), "capital")
+	for i := 0; i < 40; i++ {
+		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
+	}
+	sess := session.New(g)
+	prep, err := sess.Prepare(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := g.SnapshotBuilds()
+	const batches = 30
+	for i := 0; i < batches; i++ {
+		sess.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "X"}})
+	}
+	res, err := prep.Detect(ctx, validate.Options{Engine: validate.EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("disconnected inserts created %d violations, want 0", len(res.Violations))
+	}
+	got := g.SnapshotBuilds()
+	if got == builds {
+		t.Fatal("delta far past the threshold never compacted")
+	}
+	if extra := got - builds; extra > batches/4 {
+		t.Fatalf("%d compactions for %d batches — compaction is not amortizing", extra, batches)
+	}
+}
+
+// TestDetectorRecoversFromSharedOverlayMutations pins the stale-detector
+// recovery path: mutations that reached the shared overlay through
+// Session.Apply (not the detector's own Apply) must be folded in by the
+// detector's next Apply with a full sweep — stamping the new version
+// while missing those violations would corrupt the maintained report
+// behind a true Synced().
+func TestDetectorRecoversFromSharedOverlayMutations(t *testing.T) {
+	g, set, melbourne := capitalWorkload()
+	sess := session.New(g)
+	det := sess.Incremental(set)
+	if det.Len() != 2 {
+		t.Fatalf("initial detector violations = %d, want 2", det.Len())
+	}
+	// Repair through the session: the detector does not see this batch.
+	sess.Apply(incremental.SetAttr{Node: melbourne, Attr: "val", Value: "Canberra"})
+	if det.Synced() {
+		t.Fatal("detector must report desynced after a session-side Apply")
+	}
+	// An unrelated update through the detector must recover the missed
+	// repair, not just stamp the version.
+	det.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "Perth"}})
+	if !det.Synced() {
+		t.Fatal("detector must be synced after its own Apply")
+	}
+	if det.Len() != 0 {
+		t.Fatalf("detector missed the session-side repair: %d violations, want 0", det.Len())
+	}
+	// And the reverse: a session-side break the detector folds in.
+	sess.Apply(incremental.SetAttr{Node: melbourne, Attr: "val", Value: "Melbourne"})
+	det.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "Hobart"}})
+	if det.Len() != 2 {
+		t.Fatalf("detector missed the session-side break: %d violations, want 2", det.Len())
+	}
+}
+
+// TestConcurrentDetectAcrossPreparedSetsOverOverlay covers the documented
+// concurrency contract on the overlay path: after an Apply, Detect calls
+// from several Prepared rule sets may run concurrently — their bundle
+// rebuilds intern rule names into the one live symbol table, which must
+// be safe against each other and against compiled readers (exercised
+// under -race in CI).
+func TestConcurrentDetectAcrossPreparedSetsOverOverlay(t *testing.T) {
+	ctx := context.Background()
+	g, setA, melbourne := capitalWorkload()
+	// A second rule set over the same graph with distinct names to intern.
+	q := pattern.New()
+	x := q.AddNode("x", "country")
+	y := q.AddNode("y", "city")
+	q.AddEdge(x, y, "capital")
+	setB := core.MustNewSet(core.MustNew("cap_named", q, nil,
+		[]core.Literal{core.Const("y", "val", "Canberra")}))
+
+	sess := session.New(g)
+	pa, err := sess.Prepare(setA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := sess.Prepare(setB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		sess.Apply(incremental.SetAttr{Node: melbourne, Attr: "val", Value: fmt.Sprintf("M%d", round)})
+		var wg sync.WaitGroup
+		for _, p := range []*session.Prepared{pa, pb} {
+			wg.Add(1)
+			go func(p *session.Prepared) {
+				defer wg.Done()
+				if _, err := p.Detect(ctx, validate.Options{Engine: validate.EngineReplicated, N: 2}); err != nil {
+					t.Error(err)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+// TestSessionFollowsDetectorCompaction pins the re-coupling after a
+// detector-side compaction: the session must adopt the detector's fresh
+// overlay, so post-compaction Detect rounds stay on the no-freeze path.
+// Without the OnCompact hookup, every Detect after the first compaction
+// silently paid a full re-freeze per update batch.
+func TestSessionFollowsDetectorCompaction(t *testing.T) {
+	ctx := context.Background()
+	_, set, _ := capitalWorkload() // rule set only
+	g := graph.New(64, 64)
+	au := g.AddNode("country", graph.Attrs{"val": "AU"})
+	g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": "Canberra"}), "capital")
+	for i := 0; i < 20; i++ {
+		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
+	}
+	sess := session.New(g)
+	prep, err := sess.Prepare(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := sess.Incremental(set)
+	const batches = 30
+	for i := 0; i < batches; i++ {
+		det.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "X"}})
+		if _, err := prep.Detect(ctx, validate.Options{Engine: validate.EngineSequential}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freezes may grow only with compactions (amortized), never once per
+	// post-compaction Detect round.
+	if builds := g.SnapshotBuilds(); builds-1 > batches/4 {
+		t.Fatalf("%d snapshot builds over %d detector batches — session decoupled from the compacted overlay", builds, batches)
+	}
+	if det.Len() != 0 {
+		t.Fatalf("disconnected inserts created %d violations, want 0", det.Len())
+	}
+}
+
+// TestInterleavedSessionAndDetectorApplies pins the symmetric coupling:
+// when Session.Apply and a shared detector's Apply interleave across
+// session-side compactions, each side must recover onto (and publish) a
+// shared view rather than desyncing the other once per batch — freezes
+// grow only with compactions, and the detector's report stays correct.
+func TestInterleavedSessionAndDetectorApplies(t *testing.T) {
+	_, set, _ := capitalWorkload() // rule set only
+	g := graph.New(64, 64)
+	au := g.AddNode("country", graph.Attrs{"val": "AU"})
+	g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": "Canberra"}), "capital")
+	for i := 0; i < 20; i++ {
+		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
+	}
+	sess := session.New(g)
+	det := sess.Incremental(set)
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		sess.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "S"}})
+		det.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "D"}})
+	}
+	if builds := g.SnapshotBuilds(); builds-1 > rounds/2 {
+		t.Fatalf("%d snapshot builds over %d interleaved rounds — the two Apply paths are desyncing each other", builds, rounds)
+	}
+	// Break and repair through alternating sides; the detector must track.
+	ids := sess.Apply(incremental.AddNode{Label: "city", Attrs: graph.Attrs{"val": "Melbourne"}})
+	det.Apply(incremental.AddEdge{From: au, To: ids[0], Label: "capital"})
+	if det.Len() != 2 {
+		t.Fatalf("detector missed the interleaved break: %d violations, want 2", det.Len())
+	}
+	det.Apply(incremental.SetAttr{Node: ids[0], Attr: "val", Value: "Canberra"})
+	if det.Len() != 0 {
+		t.Fatalf("detector missed the repair: %d violations, want 0", det.Len())
+	}
+}

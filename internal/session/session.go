@@ -17,8 +17,16 @@
 // (graph version, rule set), no matter how many Detect rounds, engines,
 // and option variants run — the prerequisite for serving heavy validation
 // traffic without an O(|V|+|E|) prefix per request. Mutating the graph
-// invalidates the prepared state; the next Detect re-freezes and
+// directly invalidates the prepared state; the next Detect re-freezes and
 // re-lowers automatically (and exactly once per new version).
+//
+// Small mutations need not re-freeze at all: updates routed through
+// Session.Apply (or an incremental detector from Session.Incremental) are
+// folded into a maintained graph.Overlay — the base snapshot plus
+// localized CSR patches — and the next Detect runs against the patched
+// view, paying only for the touched region. Once the accumulated delta
+// exceeds a fraction of the base size, the session compacts: one fresh
+// freeze absorbs the patches, amortizing O(|V|+|E|) over Ω(|G|) updates.
 //
 // Detect and Stream are safe for concurrent use while the graph is
 // unmutated, like the engines themselves. Mutation concurrent with
@@ -40,15 +48,16 @@ import (
 )
 
 // Session owns a graph and the caches keyed by its mutation version:
-// fragmentations for the fragmented engine and the attribute index shared
-// by incremental detectors. Prepared rule sets hang off it via Prepare.
+// fragmentations for the fragmented engine, and the delta overlay shared
+// by incremental detectors and handed to prepared bundles after small
+// mutations. Prepared rule sets hang off it via Prepare.
 type Session struct {
 	g *graph.Graph
 
 	mu           sync.Mutex
 	frags        map[int]*fragment.Fragmentation // keyed by fragment count
 	fragsVersion uint64
-	inc          *incremental.Detector // last detector, for AttrIndex reuse
+	overlay      *graph.Overlay // live delta view; nil when no update flowed through the session
 }
 
 // New opens a session on g. The graph stays owned by the caller: build
@@ -108,25 +117,77 @@ func (s *Session) Fragmentation(n int) *fragment.Fragmentation {
 }
 
 // Incremental builds an incremental detector maintaining Vio(Σ, G) over
-// the session's graph. The session reuses one graph.AttrIndex across
-// detectors as long as every mutation flows through a detector's Apply
-// (which keeps the index in lockstep with the graph); a direct graph
-// mutation since the last detector forces a rebuild. Updates applied
-// through the detector bump the graph version, so the session's prepared
-// rule sets re-freeze on their next Detect — one shared mutation
-// lifecycle across the batch and incremental paths.
+// the session's graph. The session shares one graph.Overlay across
+// detectors and its own Apply as long as every mutation flows through one
+// of them (each keeps the overlay in lockstep with the graph); a direct
+// graph mutation since then forces a fresh view. Updates applied through
+// the detector advance the shared overlay, so the session's prepared rule
+// sets follow along on their next Detect without re-freezing — one shared
+// mutation lifecycle across the batch and incremental paths.
 func (s *Session) Incremental(set *core.Set) *incremental.Detector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var ix *graph.AttrIndex
-	if s.inc != nil && s.inc.Synced() {
-		ix = s.inc.AttrIndex()
-	} else {
-		ix = graph.NewAttrIndex(s.g)
-	}
-	d := incremental.NewWithIndex(s.g, set, ix)
-	s.inc = d
+	d := incremental.NewOnOverlay(s.liveOverlayLocked(), set)
+	// Follow the detector through compactions: adopting its fresh overlay
+	// keeps prepared bundles on the no-freeze path; abandoning it would
+	// silently re-freeze every post-compaction Detect.
+	d.OnCompact(func(ov *graph.Overlay) {
+		s.mu.Lock()
+		s.overlay = ov
+		s.mu.Unlock()
+	})
 	return d
+}
+
+// Apply performs updates on the session's graph through the maintained
+// overlay and returns the IDs of inserted nodes in update order. Unlike a
+// direct graph mutation — which invalidates every prepared bundle into a
+// full re-freeze — updates applied here keep the compiled path warm: the
+// next Detect runs against the patched overlay, paying only for the
+// touched region. Once the accumulated delta exceeds the compaction
+// fraction (graph.CompactFraction), Apply compacts eagerly: the patches
+// are absorbed into a fresh snapshot before returning — one amortized
+// freeze per Ω(|G|) updates, paid by the batch that crosses the
+// threshold — and a clean overlay starts.
+func (s *Session) Apply(ups ...incremental.Update) []graph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ov := s.liveOverlayLocked()
+	ids := incremental.ApplyTo(ov, ups...)
+	if ov.NeedsCompaction() {
+		// Compact eagerly into a fresh overlay (one freeze, the same
+		// amortized cost as deferring it to the next Detect) so the
+		// session always holds a live view: detectors sharing the old
+		// overlay recover and re-publish through OnCompact, instead of
+		// the two sides desyncing each other once per batch.
+		s.overlay = graph.NewOverlay(s.g)
+	}
+	return ids
+}
+
+// liveOverlayLocked returns the session's overlay, starting a fresh one
+// over the current graph version when none is live or a mutation bypassed
+// it. Callers hold s.mu.
+func (s *Session) liveOverlayLocked() *graph.Overlay {
+	if s.overlay == nil || !s.overlay.Synced() {
+		s.overlay = graph.NewOverlay(s.g)
+	}
+	return s.overlay
+}
+
+// topology resolves the compiled view prepared bundles should run
+// against: the live overlay while it is synced with the graph, else a
+// frozen snapshot (cached per version).
+func (s *Session) topology() graph.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.overlay != nil {
+		if s.overlay.Synced() {
+			return s.overlay
+		}
+		s.overlay = nil
+	}
+	return s.g.Freeze()
 }
 
 // Prepared is a rule set compiled against a session's graph: the
@@ -163,7 +224,13 @@ func (p *Prepared) refresh() *validate.Bundle {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if v := p.sess.g.Version(); p.bundle == nil || p.version != v {
-		p.bundle = validate.NewBundle(p.sess.g, p.set)
+		// The session hands back the live overlay after small mutations
+		// (Session.Apply / detector Apply), so re-preparing costs only the
+		// rule-side rebinding — no freeze; a full snapshot is built only
+		// when mutations bypassed the overlay or the delta was compacted.
+		// The superseded bundle donates its graph-independent caches
+		// (reduction, grouping variants).
+		p.bundle = validate.NewBundleOver(p.sess.g, p.sess.topology(), p.set, p.bundle)
 		p.version = v
 		p.rel = nil // the relational encoding snapshots the old version
 	}

@@ -343,17 +343,17 @@ func TestIncrementalIntegration(t *testing.T) {
 		t.Errorf("session post-repair violations = %d, want 0", len(res.Violations))
 	}
 
-	// A second detector reuses the maintained index while it is synced.
+	// A second detector reuses the maintained overlay while it is synced.
 	det2 := sess.Incremental(set)
-	if det2.AttrIndex() != det.AttrIndex() {
-		t.Error("synced session detector must reuse the attribute index")
+	if det2.Overlay() != det.Overlay() {
+		t.Error("synced session detector must reuse the maintained overlay")
 	}
 	// A direct graph mutation desynchronizes it; the next detector gets a
-	// fresh index and still agrees with the batch path.
+	// fresh view and still agrees with the batch path.
 	g.SetAttr(melbourne, "val", "Melbourne")
 	det3 := sess.Incremental(set)
-	if det3.AttrIndex() == det2.AttrIndex() {
-		t.Error("desynced session detector must rebuild the attribute index")
+	if det3.Overlay() == det2.Overlay() {
+		t.Error("desynced session detector must rebuild its view")
 	}
 	if det3.Len() != 2 {
 		t.Errorf("rebuilt detector violations = %d, want 2", det3.Len())

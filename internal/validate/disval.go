@@ -53,7 +53,7 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	set, groups := b.ruleGroups(opt)
 	res.Rules = set.Len()
 	res.Groups = len(groups)
-	snap := b.snap
+	topo := b.topo
 
 	// ---- disPar: estimation with border/ownership accounting ---------
 	estStart := time.Now()
@@ -62,7 +62,7 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	// carrying per-fragment ownership of the candidate's c-neighborhood).
 	chargeCandidateMessages(g, cl, frag, groups)
 	cl.EndRound()
-	units, estSpan := estimateUnits(g, snap, cl, groups, opt)
+	units, estSpan := estimateUnits(g, topo, cl, groups, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -70,7 +70,7 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	res.SplitUnits = split
 	// Attach per-worker shipping costs to each unit.
 	for i := range units {
-		attachShipCosts(g, snap, frag, &units[i])
+		attachShipCosts(g, topo, frag, &units[i])
 	}
 	res.Units = len(units)
 	res.EstimateWall = time.Since(estStart)
@@ -107,7 +107,7 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	prefetched := make([]int, opt.N)
 	partials := make([]int, opt.N)
 	busy := cl.RunMeasured(func(w int) {
-		det := newUnitDetector(snap, &cancelCheck{ctx: ctx})
+		det := newUnitDetector(topo, &cancelCheck{ctx: ctx})
 		out := workerEmit(sink, &perWorker[w])
 		for _, ui := range assign[w] {
 			if det.cancel.canceled() {
@@ -121,7 +121,7 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 			// scan of the block; it is only worth considering when the
 			// prefetch is substantial.
 			if !opt.NoOptimize && shipped > minPartialConsideration {
-				if pb := partialMatchBytes(g, snap, frag, grp, u, w, shipped); pb < shipped {
+				if pb := partialMatchBytes(g, topo, frag, grp, u, w, shipped); pb < shipped {
 					shipped = pb
 					strategy = "partial"
 				}
@@ -200,8 +200,8 @@ func chargeCandidateMessages(g *graph.Graph, cl *cluster.Cluster, frag *fragment
 
 // attachShipCosts computes, for every worker, the bytes that must be
 // shipped to it to assemble the unit's data block (its non-local part).
-func attachShipCosts(g *graph.Graph, snap *graph.Snapshot, frag *fragment.Fragmentation, u *workUnit) {
-	block := u.BlockSnap(snap).Sorted()
+func attachShipCosts(g *graph.Graph, topo graph.Topology, frag *fragment.Fragmentation, u *workUnit) {
+	block := u.BlockIn(topo).Sorted()
 	u.shipBytes = make([]int64, frag.N)
 	var total int64
 	perOwner := make([]int64, frag.N)
@@ -227,8 +227,8 @@ func attachShipCosts(g *graph.Graph, snap *graph.Snapshot, frag *fragment.Fragme
 // per block node) prefilters units whose partial matches could not beat
 // prefetching, keeping the strategy selector itself cheap — the paper's
 // dlocalVio likewise estimates before exchanging.
-func partialMatchBytes(g *graph.Graph, snap *graph.Snapshot, frag *fragment.Fragmentation, grp *ruleGroup, u workUnit, w int, prefetchBytes int64) int64 {
-	block := u.BlockSnap(snap)
+func partialMatchBytes(g *graph.Graph, topo graph.Topology, frag *fragment.Fragmentation, grp *ruleGroup, u workUnit, w int, prefetchBytes int64) int64 {
+	block := u.BlockIn(topo)
 	var upper int64
 	for v := range block {
 		if frag.OwnerOf(v) == w {

@@ -121,11 +121,11 @@ type workUnit struct {
 	totalBytes int64   // disVal: full block bytes
 }
 
-// unitDetector is one worker's detection state: a snapshot-backed Matcher
+// unitDetector is one worker's detection state: a topology-backed Matcher
 // plus reusable pin map, match scratch, and cancellation probe, so the
 // per-unit loop stays off the allocator. Workers each own one; the
-// underlying Snapshot is shared and serves both enumeration (CSR
-// topology) and literal evaluation (interned attribute arena).
+// underlying Topology (snapshot or overlay) is shared and serves both
+// enumeration (CSR topology) and literal evaluation (interned attributes).
 type unitDetector struct {
 	m       *match.Matcher
 	pin     map[int]graph.NodeID
@@ -134,11 +134,11 @@ type unitDetector struct {
 	cancel  *cancelCheck    // per-worker; consulted between matches
 }
 
-func newUnitDetector(snap *graph.Snapshot, cancel *cancelCheck) *unitDetector {
+func newUnitDetector(topo graph.Topology, cancel *cancelCheck) *unitDetector {
 	return &unitDetector{
-		m:      match.NewMatcher(snap),
+		m:      match.NewMatcher(topo),
 		pin:    make(map[int]graph.NodeID, 2),
-		block:  graph.NewEpochSet(snap.NumNodes()),
+		block:  graph.NewEpochSet(topo.NumNodes()),
 		cancel: cancel,
 	}
 }
@@ -149,9 +149,9 @@ func newUnitDetector(snap *graph.Snapshot, cancel *cancelCheck) *unitDetector {
 // replaces dominated the detection phase's allocations).
 func (d *unitDetector) fillBlock(u workUnit) *graph.EpochSet {
 	d.block.Reset()
-	snap := d.m.Snapshot()
+	topo := d.m.Topo()
 	for i, v := range u.Candidates {
-		snap.BlockInto(d.block, v, u.Unit.Pivot.Radii[i])
+		topo.BlockInto(d.block, v, u.Unit.Pivot.Radii[i])
 	}
 	return d.block
 }
@@ -187,7 +187,7 @@ func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, emit fun
 			StripeNode: stripeNode(grp, u),
 		}
 		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
-			if d.cancel.canceled() || !grp.checkMatch(d.m.Snapshot(), m, &d.scratch, emit) {
+			if d.cancel.canceled() || !grp.checkMatch(d.m.Topo(), m, &d.scratch, emit) {
 				ok = false
 				return false
 			}

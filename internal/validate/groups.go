@@ -109,10 +109,10 @@ func identityPerm(n int) []int {
 // rule's own node order). The remapped match is staged in *scratch so the
 // per-match hot path allocates only when a violation is actually recorded.
 // Literal checking runs each rule's compiled program against the shared
-// snapshot's interned attribute arena (the bundle-held program pointer in
-// the steady state). Returns false when emit refused a violation and the
+// topology's interned attributes (the bundle-held program pointer in the
+// steady state). Returns false when emit refused a violation and the
 // enumeration must stop.
-func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *core.Match, emit func(Violation) bool) bool {
+func (grp *ruleGroup) checkMatch(topo graph.Topology, m core.Match, scratch *core.Match, emit func(Violation) bool) bool {
 	for _, d := range grp.deps {
 		rm := *scratch
 		if cap(rm) < len(d.perm) {
@@ -125,9 +125,9 @@ func (grp *ruleGroup) checkMatch(snap *graph.Snapshot, m core.Match, scratch *co
 		}
 		p := d.prog
 		if p == nil {
-			p = d.rule.ProgramFor(snap.Syms())
+			p = d.rule.ProgramFor(topo.Syms())
 		}
-		if p.IsViolation(snap, rm) {
+		if p.IsViolation(topo, rm) {
 			if !emit(Violation{Rule: d.rule.Name, Match: append(core.Match(nil), rm...)}) {
 				return false
 			}

@@ -65,26 +65,28 @@ func (e Engine) Resolve() Engine {
 }
 
 // Bundle is the compiled execution state every engine runs from: the
-// frozen snapshot of the graph plus the rule set with its lowered
+// compiled topology view of the graph (a frozen snapshot, or a delta
+// overlay after small mutations) plus the rule set with its lowered
 // artifacts. Building one pays, exactly once per (graph version, rule
 // set):
 //
-//   - Graph.Freeze — the CSR snapshot with interned labels and the
-//     attribute arena;
+//   - the topology — Graph.Freeze on the cold path, or a graph.Overlay
+//     handed down by the session after an update batch (no re-freeze);
 //   - pattern.CompileFor per rule — pattern labels lowered onto the
-//     snapshot's symbol table;
-//   - GFD.ProgramFor per rule — X → Y literals lowered to integer
-//     instructions.
+//     topology's symbol table;
+//   - GFD literal lowering — X → Y literals as integer instructions.
 //
 // Workload reduction (reason.Reduce) and multi-query grouping are lazy —
 // they depend on Options variants — but each variant is computed once and
-// cached, so repeated Detect calls re-derive nothing. A Bundle is
-// immutable with respect to the graph: it is valid for the graph version
-// it was built at, and safe for concurrent readers. The session layer
-// rebuilds bundles when the graph mutates.
+// cached, so repeated Detect calls re-derive nothing; both are functions
+// of the rule set alone, so NewBundleOver inherits them from the
+// predecessor bundle across graph versions. A Bundle is immutable with
+// respect to the graph: it is valid for the graph version it was built
+// at, and safe for concurrent readers. The session layer rebuilds bundles
+// when the graph mutates.
 type Bundle struct {
 	g    *graph.Graph
-	snap *graph.Snapshot
+	topo graph.Topology
 	set  *core.Set
 
 	mu      sync.Mutex
@@ -110,19 +112,99 @@ type groupKey struct {
 // NewBundle freezes g and eagerly lowers every rule of set onto the
 // snapshot's symbol table.
 func NewBundle(g *graph.Graph, set *core.Set) *Bundle {
+	return NewBundleOver(g, g.Freeze(), set, nil)
+}
+
+// NewBundleOver builds a bundle over an externally supplied topology —
+// the session layer passes the overlay maintained across update batches
+// instead of re-freezing. When prev (the bundle this one supersedes) is
+// given and shares the rule set, the rule-side caches that do not depend
+// on the graph are inherited: the reduced set always, the grouping
+// variants when the symbol table is unchanged (the overlay case — their
+// compiled-program bindings stay valid because programs are keyed by
+// table).
+//
+// Lowering differs by topology kind. A frozen snapshot's table is
+// immutable, so rules lower by lookup and cache at the GFD level. An
+// overlay's table grows with updates, so every rule's labels and literal
+// constants are interned first (pattern.InternInto / GFD.InternLiterals)
+// and the programs are compiled fresh for this bundle — a cached program
+// lowered before the constants existed would wrongly short-circuit to
+// "never matches".
+func NewBundleOver(g *graph.Graph, topo graph.Topology, set *core.Set, prev *Bundle) *Bundle {
 	b := &Bundle{
 		g:      g,
-		snap:   g.Freeze(),
+		topo:   topo,
 		set:    set,
 		groups: make(map[groupKey][]*ruleGroup, 2),
 		progs:  make(map[*core.GFD]*core.LiteralProgram, set.Len()),
 	}
-	syms := b.snap.Syms()
-	for _, f := range set.Rules() {
-		pattern.CompileFor(f.Q, syms)
-		b.progs[f] = f.ProgramFor(syms)
+	syms := topo.Syms()
+	sameTable := prev != nil && prev.set == set && prev.topo.Syms() == syms
+	if _, growing := topo.(*graph.Overlay); growing {
+		for _, f := range set.Rules() {
+			pattern.InternInto(f.Q, syms)
+			f.InternLiterals(syms)
+		}
+		// Warm rounds reuse the predecessor's programs when they can't be
+		// stale: a fully resolved lowering survives any table growth
+		// (codes are append-only). A program with an unresolved side
+		// recompiles — the missing name may just have been interned. The
+		// entries are copied under prev's lock: a still-running Detect on
+		// the superseded bundle may insert out-of-set programs (baseline
+		// conversions) into prev.progs through Bundle.Program.
+		var prevProgs map[*core.GFD]*core.LiteralProgram
+		if sameTable {
+			prev.mu.Lock()
+			prevProgs = make(map[*core.GFD]*core.LiteralProgram, len(prev.progs))
+			for f, p := range prev.progs {
+				prevProgs[f] = p
+			}
+			prev.mu.Unlock()
+		}
+		for _, f := range set.Rules() {
+			pattern.CompileFor(f.Q, syms)
+			if p, ok := prevProgs[f]; ok && p.Resolved() {
+				b.progs[f] = p
+				continue
+			}
+			b.progs[f] = f.CompileLiterals(syms)
+		}
+	} else {
+		for _, f := range set.Rules() {
+			pattern.CompileFor(f.Q, syms)
+			b.progs[f] = f.ProgramFor(syms)
+		}
+	}
+	if prev != nil && prev.set == set {
+		b.inherit(prev, syms)
 	}
 	return b
+}
+
+// inherit copies the graph-independent rule-side caches from the
+// superseded bundle: the implication-reduced set, and — when the symbol
+// table carried over — every grouping variant, with each dependency
+// rebound to this bundle's program references (groups are never shared
+// between bundles, so a still-running Detect on prev is unaffected).
+func (b *Bundle) inherit(prev *Bundle, syms *graph.Symbols) {
+	prev.mu.Lock()
+	defer prev.mu.Unlock()
+	b.reduced = prev.reduced
+	if prev.topo.Syms() != syms {
+		return
+	}
+	for key, gs := range prev.groups {
+		ngs := make([]*ruleGroup, len(gs))
+		for i, grp := range gs {
+			ng := &ruleGroup{q: grp.q, pivot: grp.pivot, deps: append([]depSpec(nil), grp.deps...)}
+			for j := range ng.deps {
+				ng.deps[j].prog = b.progs[ng.deps[j].rule]
+			}
+			ngs[i] = ng
+		}
+		b.groups[key] = ngs
+	}
 }
 
 // Program returns f's literal program lowered onto the bundle's symbol
@@ -134,7 +216,10 @@ func (b *Bundle) Program(f *core.GFD) *core.LiteralProgram {
 	if p, ok := b.progs[f]; ok {
 		return p
 	}
-	p := f.CompileLiterals(b.snap.Syms())
+	if _, growing := b.topo.(*graph.Overlay); growing {
+		f.InternLiterals(b.topo.Syms())
+	}
+	p := f.CompileLiterals(b.topo.Syms())
 	b.progs[f] = p
 	return p
 }
@@ -142,8 +227,9 @@ func (b *Bundle) Program(f *core.GFD) *core.LiteralProgram {
 // Graph returns the source graph the bundle was compiled from.
 func (b *Bundle) Graph() *graph.Graph { return b.g }
 
-// Snapshot returns the frozen CSR view the engines run against.
-func (b *Bundle) Snapshot() *graph.Snapshot { return b.snap }
+// Topo returns the compiled topology view the engines run against: a
+// frozen snapshot, or the session's delta overlay after an update batch.
+func (b *Bundle) Topo() graph.Topology { return b.topo }
 
 // Set returns the full (unreduced) rule set.
 func (b *Bundle) Set() *core.Set { return b.set }

@@ -48,11 +48,11 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	set, groups := b.ruleGroups(opt)
 	res.Rules = set.Len()
 	res.Groups = len(groups)
-	snap := b.snap
+	topo := b.topo
 
 	// ---- bPar: parallel workload estimation --------------------------
 	estStart := time.Now()
-	units, estSpan := estimateUnits(b.g, snap, cl, groups, opt)
+	units, estSpan := estimateUnits(b.g, topo, cl, groups, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -91,7 +91,7 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	}
 	perWorker := make([]Report, opt.N)
 	busy := cl.RunMeasured(func(w int) {
-		det := newUnitDetector(snap, &cancelCheck{ctx: ctx})
+		det := newUnitDetector(topo, &cancelCheck{ctx: ctx})
 		out := workerEmit(sink, &perWorker[w])
 		for _, ui := range assign[w] {
 			if det.cancel.canceled() {
@@ -147,7 +147,7 @@ const (
 // worker measures its candidates' c-hop block sizes and reports compact
 // unit descriptors to the coordinator. The returned span is the modeled
 // parallel duration of the phase (max worker busy time).
-func estimateUnits(g *graph.Graph, snap *graph.Snapshot, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
+func estimateUnits(g *graph.Graph, topo graph.Topology, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
 	type task struct {
 		group  int
 		ranges []stats.Range // one per component
@@ -159,7 +159,7 @@ func estimateUnits(g *graph.Graph, snap *graph.Snapshot, cl *cluster.Cluster, gr
 		cands[gi] = make([][]graph.NodeID, k)
 		ranges := make([][]stats.Range, k)
 		for i := 0; i < k; i++ {
-			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.CandidatesSnap(snap, i), "val", opt.HistogramM)
+			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.CandidatesIn(topo, i), "val", opt.HistogramM)
 			cands[gi][i] = sorted
 			ranges[i] = rs
 		}
@@ -193,7 +193,7 @@ func estimateUnits(g *graph.Graph, snap *graph.Snapshot, cl *cluster.Cluster, gr
 	// Phase A: measure every needed c-hop block size exactly once, the
 	// candidate set split contiguously across workers (each candidate is
 	// owned by one worker, so no neighborhood is measured twice).
-	sizeOf, sizeSpan := measureSizes(snap, cl, groups, cands, opt.N)
+	sizeOf, sizeSpan := measureSizes(topo, cl, groups, cands, opt.N)
 
 	// Phase B: workers assemble the unit descriptors for their range
 	// combinations from the precomputed sizes.
@@ -234,8 +234,8 @@ func estimateUnits(g *graph.Graph, snap *graph.Snapshot, cl *cluster.Cluster, gr
 // measureSizes computes |G_z̄[z]| for every (candidate, radius) pair any
 // group needs, in parallel with each pair assigned to exactly one worker.
 // It returns a read-only lookup plus the phase's modeled span. Traversal
-// runs over the frozen snapshot's CSR arrays.
-func measureSizes(snap *graph.Snapshot, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
+// runs over the compiled topology's CSR arrays.
+func measureSizes(topo graph.Topology, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
 	type req struct {
 		node   graph.NodeID
 		radius int
@@ -258,7 +258,7 @@ func measureSizes(snap *graph.Snapshot, cl *cluster.Cluster, groups []*ruleGroup
 	busy := cl.RunMeasured(func(w int) {
 		mine := make(map[req]int)
 		for i := w; i < len(reqs); i += n {
-			mine[reqs[i]] = snap.NeighborhoodSize(reqs[i].node, reqs[i].radius)
+			mine[reqs[i]] = topo.NeighborhoodSize(reqs[i].node, reqs[i].radius)
 		}
 		partial[w] = mine
 	})

@@ -16,14 +16,14 @@ var ErrTimeout = errors.New("validate: sequential detection timed out")
 
 // DetVioB is the sequential error-detection algorithm of Section 5.1 over
 // a prepared bundle: for every rule it enumerates all matches of the
-// pattern in the bundle's snapshot and delivers those violating X → Y to
+// pattern in the bundle's topology and delivers those violating X → Y to
 // emit in discovery order, without materializing a report. Enumeration
 // stops when emit returns false (no error) or the context is cancelled
 // (the context's error is returned). It is the correctness reference for
 // the parallel engines, and exponential in the worst case.
 func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) error {
-	snap := b.snap
-	m := match.NewMatcher(snap)
+	topo := b.topo
+	m := match.NewMatcher(topo)
 	cancel := &cancelCheck{ctx: ctx}
 	for _, f := range b.set.Rules() {
 		p := b.Program(f)
@@ -32,7 +32,7 @@ func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) error {
 			if cancel.canceled() {
 				return false
 			}
-			if p.IsViolation(snap, h) {
+			if p.IsViolation(topo, h) {
 				if !emit(Violation{Rule: f.Name, Match: append(core.Match(nil), h...)}) {
 					stopped = true
 					return false

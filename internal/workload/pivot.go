@@ -116,14 +116,14 @@ func (p *Pivot) Candidates(g *graph.Graph, i int) []graph.NodeID {
 	return all
 }
 
-// CandidatesSnap is Candidates over a frozen snapshot: the contiguous
-// label-class range replaces the mutable graph's map lookup.
-func (p *Pivot) CandidatesSnap(s *graph.Snapshot, i int) []graph.NodeID {
+// CandidatesIn is Candidates over a compiled topology (frozen snapshot or
+// overlay): the label-class range replaces the mutable graph's map lookup.
+func (p *Pivot) CandidatesIn(t graph.Topology, i int) []graph.NodeID {
 	label := p.Q.Nodes[p.Vars[i]].Label
 	if label != pattern.Wildcard {
-		return s.NodesWithLabel(label)
+		return t.NodesWith(t.Syms().Lookup(label))
 	}
-	all := make([]graph.NodeID, s.NumNodes())
+	all := make([]graph.NodeID, t.NumNodes())
 	for j := range all {
 		all[j] = graph.NodeID(j)
 	}

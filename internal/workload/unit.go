@@ -157,14 +157,27 @@ func (u Unit) Block(g *graph.Graph) graph.NodeSet {
 	return set
 }
 
-// BlockSnap is Block over a frozen snapshot: the CSR traversal replaces the
-// hash-set BFS on the engines' hot path.
-func (u Unit) BlockSnap(s *graph.Snapshot) graph.NodeSet {
+// BlockIn is Block over a compiled topology: the CSR traversal replaces
+// the hash-set BFS on the engines' hot path.
+func (u Unit) BlockIn(t graph.Topology) graph.NodeSet {
 	set := make(graph.NodeSet)
 	for i, v := range u.Candidates {
-		set.AddAll(s.Neighborhood(v, u.Pivot.Radii[i]))
+		set.AddAll(t.Neighborhood(v, u.Pivot.Radii[i]))
 	}
 	return set
+}
+
+// EachVector enumerates candidate vectors with pairwise-distinct entries
+// over the supplied per-component candidate lists, without computing
+// block sizes — what the incremental detector's initial sweep needs.
+// Enumeration stops early when fn returns false. The vector passed to fn
+// is reused across calls.
+func EachVector(cands [][]graph.NodeID, fn func([]graph.NodeID) bool) {
+	if len(cands) == 0 {
+		return
+	}
+	vec := make([]graph.NodeID, len(cands))
+	crossProduct(cands, vec, 0, false, fn)
 }
 
 // TotalWeight sums unit weights; this approximates the sequential cost
