@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|all")
+		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|all")
 		scale   = flag.Int("scale", 250, "dataset scale")
 		rules   = flag.Int("rules", 8, "rule count ‖Σ‖")
 		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
@@ -121,6 +121,14 @@ func main() {
 			fmt.Println(t)
 			return t
 		},
+		"freeze": func() any {
+			t := exp.Freeze(base("yago2"), []int{2, 4})
+			fmt.Println(t)
+			if s, ok := exp.FreezeSpeedup(t, 4); ok {
+				fmt.Printf("parallel speedup at 4 workers: %.2fx (GOMAXPROCS-bound; see GFD_FREEZE_WORKERS)\n\n", s)
+			}
+			return t
+		},
 		"speedup": func() any {
 			fmt.Println("Exp-1 — parallel speedup n=4 -> n=20")
 			out := map[string]map[string]float64{}
@@ -142,7 +150,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Freeze measures the snapshot-construction pipeline serial vs parallel
+// across graph sizes and worker counts — the cold-start cost every engine
+// run pays before matching, and the compaction cost the overlay lifecycle
+// amortizes. Each row is one builder configuration on one graph size:
+// "x1/serial" is the single-threaded buildSnapshot, "x1/w4" the sharded
+// pipeline (count → offset merge → symbol merge → fill+sort → classes)
+// with 4 workers on the same graph, "x2/..." the same on a doubled scale.
+//
+// Rows report best-of-N wall milliseconds per freeze so the benchmark
+// gate watches both builders: a serial regression slows cold starts and
+// compaction everywhere, a parallel regression defeats the pipeline's
+// purpose. Times are machine-flavored like every committed baseline — on
+// a single-core host the parallel rows track serial plus fan-out
+// overhead; the ≥2× speedup target at 4 workers is a multi-core property.
+func Freeze(c Config, workers []int) Table {
+	c = c.Defaults()
+	if len(workers) == 0 {
+		workers = []int{2, 4}
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Freeze — serial vs parallel buildSnapshot (%s)", c.Dataset),
+		XLabel: "builder",
+		Series: []string{"ms_per_freeze"},
+	}
+	const reps = 3
+	for _, m := range []int{1, 2} {
+		cc := c
+		cc.Scale = c.Scale * m
+		g := cc.Graph()
+		bench := func(name string, w int) {
+			best := 0.0
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				g.BuildSnapshot(w)
+				ms := time.Since(start).Seconds() * 1000
+				if r == 0 || ms < best {
+					best = ms
+				}
+			}
+			t.Rows = append(t.Rows, Row{
+				X:     fmt.Sprintf("x%d/%s", m, name),
+				Cells: map[string]float64{"ms_per_freeze": best},
+			})
+		}
+		bench("serial", 1)
+		for _, w := range workers {
+			bench(fmt.Sprintf("w%d", w), w)
+		}
+	}
+	return t
+}
+
+// FreezeSpeedup derives the parallel speedup at a worker count from a
+// Freeze table (serial ms over parallel ms on the base-size graph).
+func FreezeSpeedup(t Table, w int) (float64, bool) {
+	serial, ok1 := t.Get("x1/serial", "ms_per_freeze")
+	par, ok2 := t.Get(fmt.Sprintf("x1/w%d", w), "ms_per_freeze")
+	if !ok1 || !ok2 || par <= 0 {
+		return 0, false
+	}
+	return serial / par, true
+}

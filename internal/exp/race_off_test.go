@@ -1,0 +1,5 @@
+//go:build !race
+
+package exp
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled skips timing-sensitive gate tests under the race detector,
+// whose instrumentation flattens the parallel/serial ratio they assert.
+const raceEnabled = true

@@ -62,11 +62,20 @@ type Graph struct {
 	edges   int
 	degHint int // initial adjacency capacity derived from New's edge hint
 
-	version     uint64     // bumped on every mutation; invalidates the snapshot
-	snapMu      sync.Mutex // serializes Freeze's cache check-and-fill
-	snap        *Snapshot
-	snapVersion uint64
-	snapBuilds  uint64 // snapshots actually built (cache misses), for reuse probes
+	version      uint64     // bumped on every mutation; invalidates the snapshot
+	snapMu       sync.Mutex // guards the snapshot cache fields below
+	snap         *Snapshot
+	snapVersion  uint64
+	snapBuilds   uint64     // snapshots actually built (cache misses), for reuse probes
+	snapBuilding *snapBuild // in-flight build, so construction runs outside snapMu
+}
+
+// snapBuild tracks one in-flight snapshot construction: concurrent Freeze
+// callers for the same version wait on done instead of holding snapMu for
+// the whole O(|V|+|E|) build.
+type snapBuild struct {
+	version uint64
+	done    chan struct{}
 }
 
 // Version returns the graph's mutation counter. Every mutating call

@@ -47,6 +47,15 @@ type Overlay struct {
 
 	delta int // patch size: nodes + edges + attribute writes since the freeze
 
+	// touchLog records every node whose *topology* changed since the base
+	// freeze (inserted nodes, endpoints of inserted edges) in update order.
+	// Holders of derived per-node measurements (the engines' cached c-hop
+	// block sizes) remember a log position and invalidate only what lies
+	// within radius of the nodes appended since — the delta-proportional
+	// alternative to discarding every measurement per update batch.
+	// Attribute writes are deliberately absent: they change no neighborhood.
+	touchLog []NodeID
+
 	scratch sync.Pool // *bfsScratch
 }
 
@@ -107,6 +116,23 @@ const CompactFraction = 0.25
 // base by CompactFraction.
 func (o *Overlay) NeedsCompaction() bool { return o.DeltaFraction() > CompactFraction }
 
+// TouchLen returns the current length of the topology touch log; callers
+// caching per-node measurements record it as their mark.
+func (o *Overlay) TouchLen() int { return len(o.touchLog) }
+
+// TouchedSince returns the nodes whose adjacency changed since the given
+// log mark (inserted nodes and endpoints of inserted edges, in update
+// order, possibly with repeats). Shared slice; read-only.
+func (o *Overlay) TouchedSince(mark int) []NodeID {
+	if mark < 0 {
+		mark = 0
+	}
+	if mark >= len(o.touchLog) {
+		return nil
+	}
+	return o.touchLog[mark:]
+}
+
 // AddNode inserts a node into the underlying graph and patches the
 // overlay: label interned, candidate class extended, attribute tuple
 // indexed. Returns the new node's ID.
@@ -123,6 +149,7 @@ func (o *Overlay) AddNode(label string, attrs Attrs) NodeID {
 		m = append([]NodeID(nil), o.base.NodesWith(l)...)
 	}
 	o.classes[l] = append(m, id)
+	o.touchLog = append(o.touchLog, id)
 	o.delta += 1 + len(attrs)
 	o.version = o.g.Version()
 	return id
@@ -140,6 +167,7 @@ func (o *Overlay) AddEdge(from, to NodeID, label string) error {
 	// One unit per edge, matching the |V|+|E| denominator of
 	// DeltaFraction — counting both half-edge patches would silently
 	// halve the documented compaction threshold for edge-heavy streams.
+	o.touchLog = append(o.touchLog, from, to)
 	o.delta++
 	o.version = o.g.Version()
 	return nil

@@ -60,21 +60,57 @@ type Snapshot struct {
 
 // Freeze returns the CSR snapshot of g, building it on first use and
 // whenever the graph has been mutated since the last call; otherwise the
-// cached snapshot is returned. O(|V| + |E| log d) to build, O(1) when
-// cached. Concurrent Freeze calls on an unmutated graph are safe (they
-// serialize on the cache and share one snapshot), preserving the
-// read-only concurrency of Validate and friends; Freeze concurrent with
-// mutation is not, just as matching during mutation never was. The
-// returned Snapshot itself is safe to share across goroutines.
+// cached snapshot is returned. O(|V| + |E| log d) to build (sharded across
+// FreezeWorkers goroutines for large graphs, serial under GOMAXPROCS==1 or
+// below the size floor), O(1) when cached. Concurrent Freeze calls on an
+// unmutated graph are safe and share one snapshot: the first caller builds
+// while later callers wait on the build, not on the cache mutex, so a long
+// freeze never blocks unrelated lock holders (SnapshotBuilds, a racing
+// version check). Freeze concurrent with mutation is not safe, just as
+// matching during mutation never was. The returned Snapshot itself is safe
+// to share across goroutines.
 func (g *Graph) Freeze() *Snapshot {
 	g.snapMu.Lock()
-	defer g.snapMu.Unlock()
-	if g.snap != nil && g.snapVersion == g.version {
-		return g.snap
+	for {
+		v := g.version
+		if g.snap != nil && g.snapVersion == v {
+			s := g.snap
+			g.snapMu.Unlock()
+			return s
+		}
+		b := g.snapBuilding
+		if b == nil || b.version != v {
+			break
+		}
+		// Another caller is building this version: wait outside the lock
+		// and re-check (the build-once guard — exactly one construction
+		// per version no matter how many concurrent callers).
+		g.snapMu.Unlock()
+		<-b.done
+		g.snapMu.Lock()
 	}
-	s := buildSnapshot(g)
-	g.snap, g.snapVersion = s, g.version
-	g.snapBuilds++
+	b := &snapBuild{version: g.version, done: make(chan struct{})}
+	g.snapBuilding = b
+	g.snapMu.Unlock()
+
+	// The O(|V|+|E|) construction runs outside the mutex. Publish and
+	// cleanup run deferred so a panicking build (mutation racing the
+	// freeze) still clears the in-flight marker and releases waiters —
+	// they re-check the cache and retry instead of blocking forever.
+	var s *Snapshot
+	defer func() {
+		g.snapMu.Lock()
+		if s != nil {
+			g.snap, g.snapVersion = s, b.version
+			g.snapBuilds++
+		}
+		if g.snapBuilding == b {
+			g.snapBuilding = nil
+		}
+		g.snapMu.Unlock()
+		close(b.done)
+	}()
+	s = buildSnapshotAuto(g)
 	return s
 }
 

@@ -88,3 +88,8 @@ func (s *Symbols) Len() int {
 	defer s.mu.RUnlock()
 	return len(s.names)
 }
+
+// view returns the table's name -> code index for lock-free reads. Only
+// for phases with no concurrent Intern — the parallel freeze fills read it
+// after the table is fully built and before the snapshot is published.
+func (s *Symbols) view() map[string]Sym { return s.codes }

@@ -50,28 +50,22 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	cl := cluster.New(opt.N, opt.Cost)
 	res := &Result{}
 
-	set, groups := b.ruleGroups(opt)
+	set, groups, gk := b.ruleGroupsKeyed(opt)
 	res.Rules = set.Len()
 	res.Groups = len(groups)
 	topo := b.topo
 
 	// ---- disPar: estimation with border/ownership accounting ---------
+	// Candidate reports, block-size measurement, unit assembly and the
+	// per-worker ship costs are memoized per (variant, fragmentation);
+	// warm rounds replay the comm charges and skip the work (estimate.go).
 	estStart := time.Now()
-	// Each fragment reports its local candidates with block-part sizes and
-	// border-node lists to the coordinator (one message per candidate,
-	// carrying per-fragment ownership of the candidate's c-neighborhood).
-	chargeCandidateMessages(g, cl, frag, groups)
-	cl.EndRound()
-	units, estSpan := estimateUnits(g, topo, cl, groups, opt)
+	units, estSpan := b.estimateFrag(cl, groups, gk, opt, frag)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
 	units, split = applySplit(units, groups, theta)
 	res.SplitUnits = split
-	// Attach per-worker shipping costs to each unit.
-	for i := range units {
-		attachShipCosts(g, topo, frag, &units[i])
-	}
 	res.Units = len(units)
 	res.EstimateWall = time.Since(estStart)
 	if err := ctx.Err(); err != nil {
@@ -171,8 +165,9 @@ const commCostWeight = 1.0 / 32
 // chargeCandidateMessages accounts the M_i estimation messages of disPar:
 // every fragment reports its local pivot candidates (candidate id,
 // block-part size, border nodes) to the coordinator as one batched message
-// per fragment, sized per candidate descriptor.
-func chargeCandidateMessages(g *graph.Graph, cl *cluster.Cluster, frag *fragment.Fragmentation, groups []*ruleGroup) {
+// per fragment, sized per candidate descriptor. Charges go through ship so
+// the estimation cache can record and replay them.
+func chargeCandidateMessages(g *graph.Graph, ship func(from, to int, bytes int64), frag *fragment.Fragmentation, groups []*ruleGroup) {
 	type key struct {
 		node  graph.NodeID
 		owner int
@@ -193,7 +188,7 @@ func chargeCandidateMessages(g *graph.Graph, cl *cluster.Cluster, frag *fragment
 	}
 	for owner, bytes := range perOwner {
 		if bytes > 0 {
-			cl.Ship(owner, cluster.Coordinator, bytes)
+			ship(owner, cluster.Coordinator, bytes)
 		}
 	}
 }

@@ -1,0 +1,487 @@
+package validate
+
+import (
+	"time"
+
+	"gfd/internal/cluster"
+	"gfd/internal/fragment"
+	"gfd/internal/graph"
+	"gfd/internal/stats"
+	"gfd/internal/workload"
+)
+
+// This file is the cached workload-estimation layer. The estimation phase
+// (bPar / disPar) is the per-Detect serial prefix PR 4 left on the warm
+// path: candidate listing, equi-depth partitioning, one c-hop traversal
+// per pivot candidate (measureSizes — the expensive part), and unit
+// assembly re-ran on every call even when nothing changed. The Bundle now
+// memoizes the assembled unit set per (grouping variant, n, histogram m)
+// and the block-size measurements across all variants, so:
+//
+//   - warm rounds (same bundle, same options) perform zero estimation
+//     passes: the unit set, the modeled estimation span, and the phase's
+//     comm charges are replayed from the cache (EstimationStats is the
+//     probe, mirroring Graph.SnapshotBuilds);
+//   - rounds after Session.Apply re-measure only the touched blocks: the
+//     superseding bundle inherits the size cache pruned by the overlay's
+//     touch log (a (v, r) measurement is stale only when a touched node
+//     lies within r hops of v), making warm estimation update-
+//     proportional like the detection phase already was.
+//
+// Result faithfulness: EstimateSpan is reconstructed from per-traversal
+// costs recorded at measurement time (the same round-robin schedule the
+// live phase uses), so the modeled n-worker spans the figures plot are
+// unchanged by caching — only EstimateWall collapses on warm rounds.
+
+// sizeReq identifies one block-size measurement |G_z̄[v]|.
+type sizeReq struct {
+	node   graph.NodeID
+	radius int
+}
+
+// sizeVal is one cached measurement plus its traversal cost; the cost
+// replays faithful modeled spans without re-traversing.
+type sizeVal struct {
+	size int
+	cost time.Duration
+}
+
+// shipRec is one recorded estimation-phase shipment, replayed into the
+// per-call cluster on warm rounds so comm accounting stays identical.
+type shipRec struct {
+	from, to int
+	bytes    int64
+}
+
+// estKey identifies one cached estimation variant: the grouping variant
+// plus the option fields the assembled unit set depends on.
+type estKey struct {
+	gk         groupKey
+	n          int
+	histogramM int
+}
+
+// estEntry is one memoized estimation phase: the pre-split unit set in
+// canonical order (read-only; splitting and assignment copy), the modeled
+// span, and the phase's comm charges.
+type estEntry struct {
+	units []workUnit
+	span  time.Duration
+	ships []shipRec
+}
+
+// fragEstKey adds the fragmentation identity: ship costs and candidate
+// messages are per-partition artifacts.
+type fragEstKey struct {
+	ek   estKey
+	frag *fragment.Fragmentation
+}
+
+// fragEstEntry is the fragmented-engine layer over a base estimation:
+// units with per-worker ship costs attached, plus the candidate-report
+// charges of disPar's first exchange.
+type fragEstEntry struct {
+	units     []workUnit
+	span      time.Duration
+	candShips []shipRec
+	estShips  []shipRec
+}
+
+// estState is the Bundle's estimation cache, guarded by Bundle.mu except
+// for the traversals themselves (workers measure without the lock and
+// merge results under it).
+type estState struct {
+	sizes       map[sizeReq]sizeVal
+	entries     map[estKey]*estEntry
+	fragEntries map[fragEstKey]*fragEstEntry
+
+	builds   int // full estimation passes (unit-set cache misses)
+	reuses   int // Detect rounds served without an estimation pass
+	measured int // block-size traversals actually run
+}
+
+// EstStats are the estimation-cache probe counters, cumulative across the
+// bundles a Prepared re-derives (they survive Session.Apply rebuilds the
+// way Graph.SnapshotBuilds survives Freeze cache hits). The regression
+// tests assert warm rounds leave Builds and Measured unchanged, and that
+// an Apply delta re-measures exactly the touched blocks.
+type EstStats struct {
+	Builds   int
+	Reused   int
+	Measured int
+}
+
+// EstimationStats returns the bundle's estimation-cache counters.
+func (b *Bundle) EstimationStats() EstStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return EstStats{Builds: b.est.builds, Reused: b.est.reuses, Measured: b.est.measured}
+}
+
+func replayShips(cl *cluster.Cluster, ships []shipRec) {
+	for _, s := range ships {
+		cl.Ship(s.from, s.to, s.bytes)
+	}
+}
+
+// estimateFor returns the pre-split unit set and modeled estimation span
+// for the given grouping variant, serving warm rounds entirely from the
+// cache (comm charges replayed, zero traversals). The returned slice is
+// shared and read-only; applySplit copies before mutating.
+func (b *Bundle) estimateFor(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) ([]workUnit, time.Duration) {
+	e := b.baseEstimate(cl, groups, gk, opt)
+	return e.units, e.span
+}
+
+func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) *estEntry {
+	key := estKey{gk: gk, n: opt.N, histogramM: opt.HistogramM}
+	b.mu.Lock()
+	if e, ok := b.est.entries[key]; ok {
+		b.est.reuses++
+		b.mu.Unlock()
+		replayShips(cl, e.ships)
+		cl.EndRound()
+		return e
+	}
+	b.mu.Unlock()
+
+	var ships []shipRec
+	ship := func(from, to int, bytes int64) {
+		ships = append(ships, shipRec{from, to, bytes})
+		cl.Ship(from, to, bytes)
+	}
+	units, span := b.assembleUnits(cl, groups, opt, ship)
+	cl.EndRound()
+	e := &estEntry{units: units, span: span, ships: ships}
+
+	b.mu.Lock()
+	if prev, dup := b.est.entries[key]; dup {
+		// A concurrent cold round won the race; share its entry.
+		e = prev
+	} else if len(b.est.entries) < maxEstEntries {
+		if b.est.entries == nil {
+			b.est.entries = make(map[estKey]*estEntry, 2)
+		}
+		b.est.entries[key] = e
+	}
+	b.est.builds++
+	b.mu.Unlock()
+	return e
+}
+
+// maxEstEntries / maxFragEstEntries bound the per-bundle variant caches:
+// real sweeps use a handful of (variant, n) combinations, so past the cap
+// a round simply runs uncached (still correct) instead of letting a
+// caller iterating arbitrary options — or handing a fresh Options.Frag to
+// every Detect — grow the bundle without bound.
+const (
+	maxEstEntries     = 64
+	maxFragEstEntries = 16
+)
+
+// estimateFrag is the fragmented-engine estimation: disPar's candidate
+// reports, the shared base estimation, and per-worker ship costs attached
+// to a private copy of the units — all memoized per (variant, partition).
+func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options, frag *fragment.Fragmentation) ([]workUnit, time.Duration) {
+	key := fragEstKey{ek: estKey{gk: gk, n: opt.N, histogramM: opt.HistogramM}, frag: frag}
+	b.mu.Lock()
+	if e, ok := b.est.fragEntries[key]; ok {
+		b.est.reuses++
+		b.mu.Unlock()
+		replayShips(cl, e.candShips)
+		cl.EndRound()
+		replayShips(cl, e.estShips)
+		cl.EndRound()
+		return e.units, e.span
+	}
+	b.mu.Unlock()
+
+	var candShips []shipRec
+	chargeCandidateMessages(b.g, func(from, to int, bytes int64) {
+		candShips = append(candShips, shipRec{from, to, bytes})
+		cl.Ship(from, to, bytes)
+	}, frag, groups)
+	cl.EndRound()
+	base := b.baseEstimate(cl, groups, gk, opt)
+	units := append([]workUnit(nil), base.units...)
+	for i := range units {
+		attachShipCosts(b.g, b.topo, frag, &units[i])
+	}
+	e := &fragEstEntry{units: units, span: base.span, candShips: candShips, estShips: base.ships}
+
+	b.mu.Lock()
+	if prev, dup := b.est.fragEntries[key]; dup {
+		e = prev
+	} else if len(b.est.fragEntries) < maxFragEstEntries {
+		if b.est.fragEntries == nil {
+			b.est.fragEntries = make(map[fragEstKey]*fragEstEntry, 2)
+		}
+		b.est.fragEntries[key] = e
+	}
+	b.mu.Unlock()
+	return e.units, e.span
+}
+
+// assembleUnits runs the parallel workload-estimation phase shared by
+// repVal and disVal: pivot candidate lists are split into equi-depth
+// ranges, range combinations are distributed round-robin to workers, each
+// worker assembles unit descriptors from the (cached) block-size
+// measurements and reports them to the coordinator via ship. The caller
+// owns the communication round.
+func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Options, ship func(from, to int, bytes int64)) ([]workUnit, time.Duration) {
+	topo := b.topo
+	type task struct {
+		group  int
+		ranges []stats.Range // one per component
+	}
+	var tasks []task
+	cands := make([][][]graph.NodeID, len(groups)) // group -> component -> sorted candidates
+	for gi, grp := range groups {
+		k := grp.pivot.Arity()
+		cands[gi] = make([][]graph.NodeID, k)
+		ranges := make([][]stats.Range, k)
+		for i := 0; i < k; i++ {
+			sorted, rs := stats.EquiDepthByValue(b.g, grp.pivot.CandidatesIn(topo, i), "val", opt.HistogramM)
+			cands[gi][i] = sorted
+			ranges[i] = rs
+		}
+		// Cross-product of per-component ranges; for symmetric deduped
+		// patterns only ordered range pairs are kept (Example 10).
+		symmetric := !opt.NoOptimize && grp.pivot.Symmetric() && k == 2
+		switch k {
+		case 1:
+			for _, r := range ranges[0] {
+				tasks = append(tasks, task{group: gi, ranges: []stats.Range{r}})
+			}
+		case 2:
+			for i, r1 := range ranges[0] {
+				for j, r2 := range ranges[1] {
+					if symmetric && j < i {
+						continue
+					}
+					tasks = append(tasks, task{group: gi, ranges: []stats.Range{r1, r2}})
+				}
+			}
+		default:
+			// k > 2 is rare; a single task covers the full cross product.
+			full := make([]stats.Range, k)
+			for i := range full {
+				full[i] = stats.Range{Lo: 0, Hi: len(cands[gi][i])}
+			}
+			tasks = append(tasks, task{group: gi, ranges: full})
+		}
+	}
+
+	// Phase A: resolve every needed c-hop block size, traversing only the
+	// pairs the bundle-level cache is missing.
+	sizeOf, sizeSpan := b.measureSizes(cl, groups, cands, opt.N)
+
+	// Phase B: workers assemble the unit descriptors for their range
+	// combinations from the resolved sizes.
+	perWorker := make([][]workUnit, opt.N)
+	busy := cl.RunMeasured(func(w int) {
+		var mine []workUnit
+		for ti := w; ti < len(tasks); ti += opt.N {
+			t := tasks[ti]
+			grp := groups[t.group]
+			slice := make([][]graph.NodeID, len(t.ranges))
+			for i, r := range t.ranges {
+				slice[i] = cands[t.group][i][r.Lo:r.Hi]
+			}
+			symmetric := !opt.NoOptimize && grp.pivot.Symmetric()
+			// Within the diagonal range pair the ordered-pair rule applies;
+			// BuildUnitsSized handles it via DedupSymmetric. Off-diagonal
+			// pairs are disjoint, so the flag only prunes the diagonal.
+			dedup := symmetric && len(t.ranges) == 2 && t.ranges[0] == t.ranges[1]
+			us := workload.BuildUnitsSized(grp.pivot, slice, sizeOf, workload.BuildOptions{DedupSymmetric: dedup})
+			for _, u := range us {
+				mine = append(mine, workUnit{Unit: u, group: t.group})
+			}
+		}
+		perWorker[w] = mine
+	})
+	var units []workUnit
+	for w, mine := range perWorker {
+		units = append(units, mine...)
+		// Report ⟨v̄_z, |G_z̄|⟩ descriptors to the coordinator (one batched
+		// message per worker).
+		ship(w, cluster.Coordinator, int64(len(mine))*unitDescriptorBytes)
+	}
+	return units, sizeSpan + cluster.MaxSpan(busy)
+}
+
+// measureSizes resolves |G_z̄[z]| for every (candidate, radius) pair any
+// group needs: cached pairs are read back, missing ones are traversed in
+// parallel (each assigned to exactly one worker) and added to the
+// bundle-level cache with their traversal cost. The modeled span is
+// reconstructed from the per-pair costs over the round-robin schedule, so
+// it is faithful to a from-scratch n-worker phase whether the pairs were
+// cached or traversed this round.
+func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
+	seen := make(map[sizeReq]struct{})
+	var reqs []sizeReq
+	for gi, grp := range groups {
+		for i := 0; i < grp.pivot.Arity(); i++ {
+			r := grp.pivot.Radii[i]
+			for _, v := range cands[gi][i] {
+				k := sizeReq{v, r}
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					reqs = append(reqs, k)
+				}
+			}
+		}
+	}
+	// The size cache is copy-on-write: readers take the current map as an
+	// immutable snapshot (lock-free reads during parallel unit assembly),
+	// writers publish a merged replacement under the lock. A superseded
+	// map stays valid for any still-running round holding it.
+	b.mu.Lock()
+	resolved := b.est.sizes
+	b.mu.Unlock()
+	var missing []sizeReq
+	for _, k := range reqs {
+		if _, ok := resolved[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		topo := b.topo
+		partial := make([]map[sizeReq]sizeVal, n)
+		cl.RunMeasured(func(w int) {
+			mine := make(map[sizeReq]sizeVal)
+			start := time.Now()
+			var weight int64
+			for i := w; i < len(missing); i += n {
+				sz := topo.NeighborhoodSize(missing[i].node, missing[i].radius)
+				mine[missing[i]] = sizeVal{size: sz}
+				weight += int64(sz) + 1
+			}
+			// Attribute the worker's busy time to its traversals in
+			// proportion to block size (traversal cost is linear in it):
+			// per-traversal clock reads would tax the cold path the cache
+			// exists to keep cheap.
+			if total := time.Since(start); weight > 0 {
+				for k, v := range mine {
+					v.cost = time.Duration(int64(total) * (int64(v.size) + 1) / weight)
+					mine[k] = v
+				}
+			}
+			partial[w] = mine
+		})
+		b.mu.Lock()
+		merged := make(map[sizeReq]sizeVal, len(b.est.sizes)+len(missing))
+		for k, v := range b.est.sizes {
+			merged[k] = v
+		}
+		for _, m := range partial {
+			for k, v := range m {
+				merged[k] = v
+			}
+		}
+		b.est.sizes = merged
+		b.est.measured += len(missing)
+		b.mu.Unlock()
+		resolved = merged
+	}
+	busy := make([]time.Duration, n)
+	for i, k := range reqs {
+		busy[i%n] += resolved[k].cost
+	}
+	sizeOf := func(v graph.NodeID, c int) int { return resolved[sizeReq{v, c}].size }
+	return sizeOf, cluster.MaxSpan(busy)
+}
+
+// inheritEstimationLocked carries the estimation cache across a bundle
+// rebuild (the caller holds prev.mu; b is not yet shared). Counters always
+// carry — they are cumulative probes. The size cache carries only when the
+// topology deltas separating the two bundles are known from an overlay
+// touch log, pruned to drop every measurement a touched node could have
+// changed (within radius); assembled unit sets are always re-derived, so
+// new candidates and shifted equi-depth ranges are picked up, from cached
+// sizes wherever the blocks were not touched.
+func (b *Bundle) inheritEstimationLocked(prev *Bundle) {
+	b.est.builds = prev.est.builds
+	b.est.reuses = prev.est.reuses
+	b.est.measured = prev.est.measured
+	if len(prev.est.sizes) == 0 {
+		return
+	}
+	var touched []graph.NodeID
+	switch pt := prev.topo.(type) {
+	case *graph.Overlay:
+		// Normal warm path: the session's overlay absorbed the deltas (and
+		// may have been superseded by a compacted view of the same graph).
+		if !pt.Synced() || pt.Graph() != b.g {
+			return
+		}
+		touched = pt.TouchedSince(prev.touchMark)
+	case *graph.Snapshot:
+		// First Apply after a cold prepare: the new overlay patches the
+		// very snapshot prev ran on, so its whole touch log is the delta.
+		ov, ok := b.topo.(*graph.Overlay)
+		if !ok || ov.Base() != pt || ov.Graph() != b.g {
+			return
+		}
+		touched = ov.TouchedSince(0)
+	default:
+		return
+	}
+	if len(touched) == 0 {
+		// Attribute-only deltas: every measurement survives. The map is
+		// copy-on-write, so sharing it is safe.
+		b.est.sizes = prev.est.sizes
+		return
+	}
+	maxR := 0
+	for k := range prev.est.sizes {
+		if k.radius > maxR {
+			maxR = k.radius
+		}
+	}
+	stale := distWithin(b.topo, touched, maxR)
+	sizes := make(map[sizeReq]sizeVal, len(prev.est.sizes))
+	for k, v := range prev.est.sizes {
+		if d, ok := stale[k.node]; ok && d <= k.radius {
+			continue
+		}
+		sizes[k] = v
+	}
+	b.est.sizes = sizes
+}
+
+// distWithin runs a multi-source undirected BFS from the touched nodes up
+// to maxR hops and returns each reached node's hop distance to the nearest
+// source — the stale region: a cached (v, r) measurement can only have
+// changed if dist(v) <= r. Distances are computed on the new topology;
+// updates are insert-only, so new edges can only shorten distances, which
+// errs on the side of re-measuring.
+func distWithin(topo graph.Topology, sources []graph.NodeID, maxR int) map[graph.NodeID]int {
+	dist := make(map[graph.NodeID]int, len(sources)*4)
+	var frontier []graph.NodeID
+	for _, v := range sources {
+		if _, ok := dist[v]; !ok {
+			dist[v] = 0
+			frontier = append(frontier, v)
+		}
+	}
+	for hop := 1; hop <= maxR && len(frontier) > 0; hop++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, e := range topo.Out(v) {
+				if _, ok := dist[e.To]; !ok {
+					dist[e.To] = hop
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range topo.In(v) {
+				if _, ok := dist[e.To]; !ok {
+					dist[e.To] = hop
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

@@ -100,6 +100,14 @@ type Bundle struct {
 	// "lowered once per (graph version, rule set)" guarantee immune to
 	// other sessions.
 	progs map[*core.GFD]*core.LiteralProgram
+
+	// est is the cached workload-estimation state (see estimate.go): unit
+	// sets per option variant, block-size measurements shared across
+	// variants, probe counters. touchMark is the overlay touch-log
+	// position this bundle's view begins at, so a successor bundle can
+	// invalidate exactly the measurements its Apply deltas touched.
+	est       estState
+	touchMark int
 }
 
 // groupKey identifies one cached grouping variant.
@@ -138,6 +146,9 @@ func NewBundleOver(g *graph.Graph, topo graph.Topology, set *core.Set, prev *Bun
 		set:    set,
 		groups: make(map[groupKey][]*ruleGroup, 2),
 		progs:  make(map[*core.GFD]*core.LiteralProgram, set.Len()),
+	}
+	if ov, ok := topo.(*graph.Overlay); ok {
+		b.touchMark = ov.TouchLen()
 	}
 	syms := topo.Syms()
 	sameTable := prev != nil && prev.set == set && prev.topo.Syms() == syms
@@ -182,15 +193,19 @@ func NewBundleOver(g *graph.Graph, topo graph.Topology, set *core.Set, prev *Bun
 	return b
 }
 
-// inherit copies the graph-independent rule-side caches from the
-// superseded bundle: the implication-reduced set, and — when the symbol
-// table carried over — every grouping variant, with each dependency
-// rebound to this bundle's program references (groups are never shared
-// between bundles, so a still-running Detect on prev is unaffected).
+// inherit copies the caches the superseded bundle can donate: the
+// implication-reduced set, the estimation cache (counters always; the
+// block-size measurements when the topology delta is known from an
+// overlay touch log — pruned to the untouched region), and — when the
+// symbol table carried over — every grouping variant, with each
+// dependency rebound to this bundle's program references (groups are
+// never shared between bundles, so a still-running Detect on prev is
+// unaffected).
 func (b *Bundle) inherit(prev *Bundle, syms *graph.Symbols) {
 	prev.mu.Lock()
 	defer prev.mu.Unlock()
 	b.reduced = prev.reduced
+	b.inheritEstimationLocked(prev)
 	if prev.topo.Syms() != syms {
 		return
 	}
@@ -252,6 +267,13 @@ func (b *Bundle) ruleSet(opt Options) *core.Set {
 // ruleGroups resolves the effective rule set and its multi-query groups
 // under opt, cached per variant.
 func (b *Bundle) ruleGroups(opt Options) (*core.Set, []*ruleGroup) {
+	set, gs, _ := b.ruleGroupsKeyed(opt)
+	return set, gs
+}
+
+// ruleGroupsKeyed is ruleGroups returning the variant key as well — the
+// estimation cache keys off it.
+func (b *Bundle) ruleGroupsKeyed(opt Options) (*core.Set, []*ruleGroup, groupKey) {
 	set := b.ruleSet(opt)
 	key := groupKey{
 		combine:        !opt.NoOptimize,
@@ -261,7 +283,7 @@ func (b *Bundle) ruleGroups(opt Options) (*core.Set, []*ruleGroup) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if gs, ok := b.groups[key]; ok {
-		return set, gs
+		return set, gs, key
 	}
 	gs := buildGroups(set.Rules(), key.combine, key.arbitraryPivot)
 	// Bind each dependency to its bundle-held program so the per-match
@@ -273,7 +295,7 @@ func (b *Bundle) ruleGroups(opt Options) (*core.Set, []*ruleGroup) {
 		}
 	}
 	b.groups[key] = gs
-	return set, gs
+	return set, gs, key
 }
 
 // Warm precomputes the reduction and grouping variant opt selects, so a

@@ -7,7 +7,6 @@ import (
 	"gfd/internal/cluster"
 	"gfd/internal/core"
 	"gfd/internal/graph"
-	"gfd/internal/stats"
 	"gfd/internal/workload"
 )
 
@@ -45,14 +44,15 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	cl := cluster.New(opt.N, opt.Cost)
 	res := &Result{}
 
-	set, groups := b.ruleGroups(opt)
+	set, groups, gk := b.ruleGroupsKeyed(opt)
 	res.Rules = set.Len()
 	res.Groups = len(groups)
 	topo := b.topo
 
-	// ---- bPar: parallel workload estimation --------------------------
+	// ---- bPar: parallel workload estimation (cached per variant; warm
+	// rounds replay the memoized unit set, span and comm charges) -------
 	estStart := time.Now()
-	units, estSpan := estimateUnits(b.g, topo, cl, groups, opt)
+	units, estSpan := b.estimateFor(cl, groups, gk, opt)
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -141,132 +141,7 @@ const (
 	violationBytes      = 48 // rule name tag + match vector
 )
 
-// estimateUnits runs the parallel workload-estimation phase shared by
-// repVal and disVal: pivot candidate lists are split into equi-depth
-// ranges, range combinations are distributed round-robin to workers, each
-// worker measures its candidates' c-hop block sizes and reports compact
-// unit descriptors to the coordinator. The returned span is the modeled
-// parallel duration of the phase (max worker busy time).
-func estimateUnits(g *graph.Graph, topo graph.Topology, cl *cluster.Cluster, groups []*ruleGroup, opt Options) ([]workUnit, time.Duration) {
-	type task struct {
-		group  int
-		ranges []stats.Range // one per component
-	}
-	var tasks []task
-	cands := make([][][]graph.NodeID, len(groups)) // group -> component -> sorted candidates
-	for gi, grp := range groups {
-		k := grp.pivot.Arity()
-		cands[gi] = make([][]graph.NodeID, k)
-		ranges := make([][]stats.Range, k)
-		for i := 0; i < k; i++ {
-			sorted, rs := stats.EquiDepthByValue(g, grp.pivot.CandidatesIn(topo, i), "val", opt.HistogramM)
-			cands[gi][i] = sorted
-			ranges[i] = rs
-		}
-		// Cross-product of per-component ranges; for symmetric deduped
-		// patterns only ordered range pairs are kept (Example 10).
-		symmetric := !opt.NoOptimize && grp.pivot.Symmetric() && k == 2
-		switch k {
-		case 1:
-			for _, r := range ranges[0] {
-				tasks = append(tasks, task{group: gi, ranges: []stats.Range{r}})
-			}
-		case 2:
-			for i, r1 := range ranges[0] {
-				for j, r2 := range ranges[1] {
-					if symmetric && j < i {
-						continue
-					}
-					tasks = append(tasks, task{group: gi, ranges: []stats.Range{r1, r2}})
-				}
-			}
-		default:
-			// k > 2 is rare; a single task covers the full cross product.
-			full := make([]stats.Range, k)
-			for i := range full {
-				full[i] = stats.Range{Lo: 0, Hi: len(cands[gi][i])}
-			}
-			tasks = append(tasks, task{group: gi, ranges: full})
-		}
-	}
-
-	// Phase A: measure every needed c-hop block size exactly once, the
-	// candidate set split contiguously across workers (each candidate is
-	// owned by one worker, so no neighborhood is measured twice).
-	sizeOf, sizeSpan := measureSizes(topo, cl, groups, cands, opt.N)
-
-	// Phase B: workers assemble the unit descriptors for their range
-	// combinations from the precomputed sizes.
-	perWorker := make([][]workUnit, opt.N)
-	busy := cl.RunMeasured(func(w int) {
-		var mine []workUnit
-		for ti := w; ti < len(tasks); ti += opt.N {
-			t := tasks[ti]
-			grp := groups[t.group]
-			slice := make([][]graph.NodeID, len(t.ranges))
-			for i, r := range t.ranges {
-				slice[i] = cands[t.group][i][r.Lo:r.Hi]
-			}
-			symmetric := !opt.NoOptimize && grp.pivot.Symmetric()
-			// Within the diagonal range pair the ordered-pair rule applies;
-			// BuildUnitsSized handles it via DedupSymmetric. Off-diagonal
-			// pairs are disjoint, so the flag only prunes the diagonal.
-			dedup := symmetric && len(t.ranges) == 2 && t.ranges[0] == t.ranges[1]
-			us := workload.BuildUnitsSized(grp.pivot, slice, sizeOf, workload.BuildOptions{DedupSymmetric: dedup})
-			for _, u := range us {
-				mine = append(mine, workUnit{Unit: u, group: t.group})
-			}
-		}
-		perWorker[w] = mine
-		// Report ⟨v̄_z, |G_z̄|⟩ descriptors to the coordinator (one batched
-		// message per worker).
-		cl.Ship(w, cluster.Coordinator, int64(len(mine))*unitDescriptorBytes)
-	})
-	cl.EndRound()
-
-	var units []workUnit
-	for _, mine := range perWorker {
-		units = append(units, mine...)
-	}
-	return units, sizeSpan + cluster.MaxSpan(busy)
-}
-
-// measureSizes computes |G_z̄[z]| for every (candidate, radius) pair any
-// group needs, in parallel with each pair assigned to exactly one worker.
-// It returns a read-only lookup plus the phase's modeled span. Traversal
-// runs over the compiled topology's CSR arrays.
-func measureSizes(topo graph.Topology, cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
-	type req struct {
-		node   graph.NodeID
-		radius int
-	}
-	seen := make(map[req]struct{})
-	var reqs []req
-	for gi, grp := range groups {
-		for i := 0; i < grp.pivot.Arity(); i++ {
-			r := grp.pivot.Radii[i]
-			for _, v := range cands[gi][i] {
-				k := req{v, r}
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
-					reqs = append(reqs, k)
-				}
-			}
-		}
-	}
-	partial := make([]map[req]int, n)
-	busy := cl.RunMeasured(func(w int) {
-		mine := make(map[req]int)
-		for i := w; i < len(reqs); i += n {
-			mine[reqs[i]] = topo.NeighborhoodSize(reqs[i].node, reqs[i].radius)
-		}
-		partial[w] = mine
-	})
-	sizes := make(map[req]int, len(reqs))
-	for _, m := range partial {
-		for k, v := range m {
-			sizes[k] = v
-		}
-	}
-	return func(v graph.NodeID, c int) int { return sizes[req{v, c}] }, cluster.MaxSpan(busy)
-}
+// The workload-estimation phase (candidate listing, equi-depth ranges,
+// block-size measurement, unit assembly) lives in estimate.go: it is
+// shared by repVal and disVal and memoized on the Bundle so warm rounds
+// skip it entirely.
