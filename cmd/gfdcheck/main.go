@@ -8,16 +8,27 @@
 //	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis|gcfd|bigdansing] [-n 8] [-v] [-stream] [-timeout 30s]
 //
 // The graph file uses the line format of package graph (node/edge lines);
-// the rules file uses the gfd block format (see README.md). Exit status is
-// 0 when the graph satisfies Σ, 1 when violations were found, 2 on errors
-// (including a -timeout expiry).
+// the rules file uses the gfd block format (see README.md). Exit status:
+//
+//	0   the graph satisfies Σ
+//	1   violations were found (complete report)
+//	2   errors (bad input, unknown mode, engine failure)
+//	3   the -timeout deadline expired before detection finished
+//	4   the result is partial (retry budgets exhausted under worker
+//	    failures) and no violations were found — "clean" cannot be
+//	    certified; violations found in a partial run still exit 1
+//	130 interrupted by the user (SIGINT/SIGTERM)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gfd"
 )
@@ -78,12 +89,19 @@ func main() {
 	// The session lifecycle: prepare once, detect with any engine. A
 	// long-running checker would keep sess and prep alive across requests
 	// and graph updates; here one invocation is one Detect.
-	sess := gfd.NewSession(g)
+	sess, err := gfd.NewSession(g)
+	if err != nil {
+		fatal(err)
+	}
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		fatal(err)
 	}
-	ctx := context.Background()
+	// A SIGINT/SIGTERM cancels the context (exit 130); the -timeout flag
+	// arms a deadline (exit 3). The two expire the same context but are
+	// reported differently — an operator's ^C is not a capacity problem.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -103,7 +121,10 @@ func main() {
 		fmt.Println()
 	}
 
-	var nViolations int
+	var (
+		nViolations int
+		partial     bool
+	)
 	if *stream {
 		count := 0
 		err := prep.Stream(ctx, opt, func(v gfd.Violation) bool {
@@ -112,13 +133,16 @@ func main() {
 			return true
 		})
 		if err != nil {
-			fatal(fmt.Errorf("detection aborted: %w", err))
+			partial = reportDetectError(err, *timeout)
 		}
 		nViolations = count
 	} else {
 		res, err := prep.Detect(ctx, opt)
 		if err != nil {
-			fatal(fmt.Errorf("detection aborted: %w", err))
+			partial = reportDetectError(err, *timeout)
+			c := res.Completeness
+			fmt.Fprintf(os.Stderr, "gfdcheck: completeness: %d/%d units succeeded, %d retries, %d worker deaths, %d recovery rounds\n",
+				c.Succeeded, c.Units, c.Retries, c.WorkerDeaths, c.RecoveryRounds)
 		}
 		switch engine {
 		case gfd.EngineReplicated:
@@ -137,9 +161,44 @@ func main() {
 		nViolations = len(res.Violations)
 	}
 	fmt.Printf("violations: %d\n", nViolations)
-	if nViolations > 0 {
+	switch {
+	case nViolations > 0:
 		os.Exit(1)
+	case partial:
+		// No violations surfaced, but some units never ran to completion:
+		// "satisfied" cannot be certified.
+		os.Exit(4)
 	}
+}
+
+// reportDetectError classifies a Detect/Stream error. A partial result
+// (retry budgets exhausted under worker failures) is reported and returns
+// true — the violations that were found are still printed, and the final
+// exit status reflects the gap. Every other cause terminates: deadline
+// expiry (exit 3), user interruption (exit 130), engine failure (exit 2).
+func reportDetectError(err error, timeout time.Duration) bool {
+	switch {
+	case errors.Is(err, gfd.ErrPartial):
+		var pe *gfd.PartialError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "gfdcheck: partial result: %d unit(s) failed after exhausting retries\n", len(pe.Failures))
+			for _, f := range pe.Failures {
+				fmt.Fprintf(os.Stderr, "  unit %d (group %d) after %d attempt(s): %v\n", f.Unit, f.Group, f.Attempts, f.Err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "gfdcheck: partial result: %v\n", err)
+		}
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "gfdcheck: deadline exceeded after %v; rerun with a larger -timeout\n", timeout)
+		os.Exit(3)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "gfdcheck: interrupted")
+		os.Exit(130)
+	default:
+		fatal(fmt.Errorf("detection aborted: %w", err))
+	}
+	panic("unreachable")
 }
 
 func readGraph(path string) (*gfd.Graph, map[string]gfd.NodeID, error) {

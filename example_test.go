@@ -29,7 +29,7 @@ func ExampleSession() {
 	g.MustAddEdge(au, c2, "capital")
 
 	ctx := context.Background()
-	sess := gfd.NewSession(g)
+	sess, _ := gfd.NewSession(g)
 	prep, _ := sess.Prepare(gfd.MustSet(phi))
 
 	seq, _ := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineSequential})

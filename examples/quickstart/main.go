@@ -47,7 +47,10 @@ func main() {
 	// every rule is lowered onto it. All later Detect/Stream calls reuse
 	// those artifacts.
 	ctx := context.Background()
-	sess := gfd.NewSession(g)
+	sess, err := gfd.NewSession(g)
+	if err != nil {
+		panic(err)
+	}
 	prep, err := sess.Prepare(gfd.MustSet(phi2))
 	if err != nil {
 		panic(err)

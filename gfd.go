@@ -13,7 +13,7 @@
 // Session on it, Prepare a rule set once, then Detect or Stream any
 // number of times:
 //
-//	sess := gfd.NewSession(g)
+//	sess, err := gfd.NewSession(g)
 //	prep, err := sess.Prepare(set)
 //	res, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineReplicated, N: 16})
 //	err = prep.Stream(ctx, gfd.Options{}, func(v gfd.Violation) bool { ... ; return true })
@@ -59,7 +59,9 @@ import (
 	"context"
 	"io"
 
+	"gfd/internal/cluster"
 	"gfd/internal/core"
+	"gfd/internal/fault"
 	"gfd/internal/fragment"
 	"gfd/internal/gen"
 	"gfd/internal/graph"
@@ -123,6 +125,27 @@ type (
 	Result = validate.Result
 	// Engine selects the detection algorithm Prepared.Detect runs.
 	Engine = validate.Engine
+	// Retry is the per-unit retry budget (Options.Retry) the parallel
+	// engines apply when a worker dies or a unit misses its deadline.
+	Retry = validate.Retry
+	// Completeness is the execution census of a detection run under the
+	// fault-tolerant scheduler (Result.Completeness): units attempted,
+	// succeeded, failed, retries, worker deaths.
+	Completeness = validate.Completeness
+	// PartialError is the error of a partial run: the failed units with
+	// their last errors. errors.Is(err, ErrPartial) matches it.
+	PartialError = validate.PartialError
+	// UnitFailure is one abandoned work unit inside a PartialError.
+	UnitFailure = validate.UnitFailure
+	// WorkerError is a recovered worker panic: worker id, unit id, panic
+	// value, and the goroutine stack at recovery.
+	WorkerError = cluster.WorkerError
+	// FaultPlan is a deterministic fault-injection plan for Options.Inject
+	// — testing only; nil (the default) makes every injection point a
+	// no-op. Build one with NewFaultPlan or FaultPlanFromSeed.
+	FaultPlan = fault.Plan
+	// FaultSite names one instrumented injection point of a FaultPlan.
+	FaultSite = fault.Site
 
 	// Session owns a graph and its compiled execution caches; open one
 	// with NewSession, then Prepare rule sets against it.
@@ -153,11 +176,43 @@ const (
 	EngineBigDansing = validate.EngineBigDansing
 )
 
+// Failure-semantics errors (see README "Failure semantics"): ErrPartial
+// marks a Detect result whose violation set may be incomplete after retry
+// budgets exhausted (the concrete error is a *PartialError listing the
+// failed units; Result.Completeness carries the census); ErrNilGraph is
+// NewSession's typed rejection of a nil graph.
+var (
+	ErrPartial  = validate.ErrPartial
+	ErrNilGraph = session.ErrNilGraph
+)
+
+// FaultPlan injection sites, for FaultPlan.PanicAt.
+const (
+	FaultUnitStart = fault.UnitStart
+	FaultMatch     = fault.Match
+	FaultLiteral   = fault.Literal
+	FaultShip      = fault.Ship
+)
+
+// NewFaultPlan returns an empty fault plan tagged with a seed; chain
+// KillWorker / DelayUnit / PanicAt and set it as Options.Inject. Testing
+// only — production leaves Options.Inject nil and pays nothing.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// FaultPlanFromSeed derives a pseudo-random recoverable fault plan — the
+// chaos suite sweeps seeds and logs only the failing seed, which replays
+// the exact plan.
+func FaultPlanFromSeed(seed int64, workers, units int) *FaultPlan {
+	return fault.FromSeed(seed, workers, units)
+}
+
 // NewSession opens a prepared session on g — the entry point of the
 // build → NewSession → Prepare → Detect/Stream lifecycle. The graph
 // stays owned by the caller; the session pays freeze and rule-lowering
-// costs once per graph version and rule set.
-func NewSession(g *Graph) *Session { return session.New(g) }
+// costs once per graph version and rule set. A nil graph returns
+// ErrNilGraph (a typed error, not a panic — servers can reject the bad
+// request and keep running).
+func NewSession(g *Graph) (*Session, error) { return session.New(g) }
 
 // NewGraph returns an empty graph with capacity hints.
 func NewGraph(nodeHint, edgeHint int) *Graph { return graph.New(nodeHint, edgeHint) }
@@ -233,10 +288,14 @@ func Implies(s *Set, f *GFD) bool { return reason.Implies(s, f) }
 func Reduce(s *Set) *Set { return reason.Reduce(s) }
 
 // oneShot prepares a throwaway session for the legacy free functions.
-// Prepare only fails on a nil set, which the old entry points would have
-// crashed on anyway.
+// New/Prepare only fail on nil inputs, which the old entry points would
+// have crashed on anyway — the deprecated path keeps that contract.
 func oneShot(g *Graph, s *Set) *Prepared {
-	p, err := session.New(g).Prepare(s)
+	sess, err := session.New(g)
+	if err != nil {
+		panic(err)
+	}
+	p, err := sess.Prepare(s)
 	if err != nil {
 		panic(err)
 	}

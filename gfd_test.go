@@ -152,7 +152,10 @@ func TestSessionPublicAPI(t *testing.T) {
 	set := gfd.MustSet(gfd1(t), gfd2(t), gfd3(t))
 	want := gfd.Validate(g, set)
 
-	sess := gfd.NewSession(g)
+	sess, err := gfd.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gfd/internal/cluster"
 	"gfd/internal/core"
 	"gfd/internal/graph"
 	"gfd/internal/pattern"
@@ -74,6 +75,12 @@ func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate
 // here; wrap emit when ordering matters), returning false stops every
 // worker, and a cancelled context aborts with its error. The session
 // layer runs EngineBigDansing through it.
+//
+// A panicking join worker is recovered into a *cluster.WorkerError while
+// the surviving workers drain their chunks; the run then continues into
+// the remaining rules and returns a *validate.PartialError (errors.Is
+// validate.ErrPartial, Unit -1 — the join pipeline has no retryable unit
+// granularity) listing every death.
 func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n int, emit func(validate.Violation) bool) error {
 	if n < 1 {
 		n = 1
@@ -83,24 +90,36 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 	// the frozen attribute arena (the join pipeline itself — the part the
 	// comparison measures — stays relational).
 	snap := b.Topo()
+	var failures []validate.UnitFailure
 	for _, f := range b.Set().Rules() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, emit) {
+		cont, errs := detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, emit)
+		for _, werr := range errs {
+			failures = append(failures, validate.UnitFailure{Unit: -1, Group: -1, Attempts: 1, Err: werr})
+		}
+		if !cont {
 			break
 		}
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return &validate.PartialError{Failures: failures}
+	}
+	return nil
 }
 
 // detectOneJoin runs one rule's join pipeline; it returns false when emit
-// stopped the detection.
-func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) bool {
+// stopped the detection, plus one *cluster.WorkerError per worker that
+// died (recovered panics — the surviving workers drained regardless).
+func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) (bool, []error) {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
-		return true
+		return true, nil
 	}
 	plan := joinPlan(q)
 
@@ -110,11 +129,17 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 	firstTuples := stepTuples(rel, q, plan[0])
 	chunks := splitChunks(len(firstTuples), n)
 	var stop atomic.Bool
+	deaths := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					deaths[w] = cluster.Recovered(w, -1, r)
+				}
+			}()
 			wEmit := func(v validate.Violation) bool {
 				if stop.Load() {
 					return false
@@ -150,7 +175,13 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 		}(w)
 	}
 	wg.Wait()
-	return !stop.Load()
+	var errs []error
+	for _, e := range deaths {
+		if e != nil {
+			errs = append(errs, e)
+		}
+	}
+	return !stop.Load(), errs
 }
 
 // planStep is one join step: either a pattern edge or an isolated node

@@ -17,6 +17,7 @@ import (
 	"context"
 	"sync"
 
+	"gfd/internal/cluster"
 	"gfd/internal/core"
 	"gfd/internal/graph"
 	"gfd/internal/match"
@@ -165,8 +166,15 @@ func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 // context aborts with its error (checked between rules and, strided,
 // between matches). The session layer runs EngineGCFD through it so a
 // prepared rule conversion is validated without re-freezing or
-// re-encoding anything.
-func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(validate.Violation) bool) error {
+// re-encoding anything. A panic during enumeration or the literal check is
+// recovered into the returned error (a *cluster.WorkerError) rather than
+// tearing down the caller.
+func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(validate.Violation) bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = cluster.Recovered(cluster.Coordinator, -1, r)
+		}
+	}()
 	snap := b.Topo()
 	m := match.NewMatcher(snap)
 	aborted := false

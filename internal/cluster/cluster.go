@@ -12,10 +12,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"gfd/internal/fault"
 )
 
 // CostModel prices simulated communication in BSP style: each
@@ -39,6 +43,7 @@ func DefaultCostModel() CostModel {
 type Cluster struct {
 	n     int
 	model CostModel
+	inj   *fault.Injector // armed fault plan; nil in production (no-op crossings)
 
 	mu         sync.Mutex
 	recvBytes  []int64 // bytes received per worker (coordinator = index n)
@@ -47,6 +52,37 @@ type Cluster struct {
 	totalMsgs  int64
 	rounds     int64 // communication rounds (BSP supersteps with exchange)
 }
+
+// WorkerError is the typed failure a recovered worker panic converts to:
+// the worker that died, the work unit it was executing (-1 when the panic
+// was not unit-scoped — e.g. during estimation), the panic value, and the
+// goroutine stack at recovery. One process-tearing panic becomes one
+// inspectable error; the coordinator decides what to retry.
+type WorkerError struct {
+	Worker int
+	Unit   int
+	Panic  any
+	Stack  []byte
+}
+
+// Error summarizes the death without the stack; use Stack when debugging.
+func (e *WorkerError) Error() string {
+	if e.Unit >= 0 {
+		return fmt.Sprintf("cluster: worker %d died on unit %d: %v", e.Worker, e.Unit, e.Panic)
+	}
+	return fmt.Sprintf("cluster: worker %d died: %v", e.Worker, e.Panic)
+}
+
+// Recovered converts a recovered panic value into a WorkerError carrying
+// the current stack. Call it from a deferred recover with r != nil.
+func Recovered(worker, unit int, r any) *WorkerError {
+	return &WorkerError{Worker: worker, Unit: unit, Panic: r, Stack: debug.Stack()}
+}
+
+// Arm threads an armed fault injector through the cluster: Ship crossings
+// consult it. A nil injector (the production state) keeps every crossing a
+// nil check.
+func (c *Cluster) Arm(inj *fault.Injector) { c.inj = inj }
 
 // Coordinator is the pseudo-worker index used for shipments to/from the
 // coordinator S_c.
@@ -81,6 +117,7 @@ func (c *Cluster) Ship(from, to int, bytes int64) {
 	if from == to {
 		return // local access is free
 	}
+	c.inj.Cross(fault.Ship, to, -1)
 	c.mu.Lock()
 	c.recvBytes[c.slot(to)] += bytes
 	c.recvMsgs[c.slot(to)]++
@@ -90,17 +127,26 @@ func (c *Cluster) Ship(from, to int, bytes int64) {
 }
 
 // Run executes task(workerID) on n goroutines and waits for all of them —
-// one BSP superstep.
-func (c *Cluster) Run(task func(worker int)) {
+// one BSP superstep. A panicking task no longer tears down the process:
+// each worker recovers independently into a *WorkerError (unit -1), the
+// surviving workers drain, and the joined errors are returned.
+func (c *Cluster) Run(task func(worker int)) error {
+	errs := make([]error, c.n)
 	var wg sync.WaitGroup
 	wg.Add(c.n)
 	for w := 0; w < c.n; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = Recovered(w, -1, r)
+				}
+			}()
 			task(w)
 		}(w)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // RunMeasured executes one BSP superstep of n *logical* workers and
@@ -109,7 +155,14 @@ func (c *Cluster) Run(task func(worker int)) {
 // scheduler contention; the caller derives the modeled parallel span as
 // the maximum busy time. This is what lets the simulation report faithful
 // n-worker scaling on a host with fewer cores than n (see DESIGN.md §4).
-func (c *Cluster) RunMeasured(task func(worker int)) []time.Duration {
+//
+// Panic isolation matches Run: a dying worker is recovered into a
+// *WorkerError while the others drain, and the joined errors are returned
+// alongside the busy times (a dead worker's busy time covers up to its
+// death). Callers that recover inside task (the detection scheduler does,
+// to keep unit context) will never see an error here — this is the safety
+// net for the fan-outs that do not.
+func (c *Cluster) RunMeasured(task func(worker int)) ([]time.Duration, error) {
 	limit := runtime.NumCPU()
 	if limit > c.n {
 		limit = c.n
@@ -119,6 +172,7 @@ func (c *Cluster) RunMeasured(task func(worker int)) []time.Duration {
 	}
 	sem := make(chan struct{}, limit)
 	busy := make([]time.Duration, c.n)
+	errs := make([]error, c.n)
 	var wg sync.WaitGroup
 	wg.Add(c.n)
 	for w := 0; w < c.n; w++ {
@@ -127,12 +181,17 @@ func (c *Cluster) RunMeasured(task func(worker int)) []time.Duration {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
+			defer func() {
+				busy[w] = time.Since(start)
+				if r := recover(); r != nil {
+					errs[w] = Recovered(w, -1, r)
+				}
+			}()
 			task(w)
-			busy[w] = time.Since(start)
 		}(w)
 	}
 	wg.Wait()
-	return busy
+	return busy, errors.Join(errs...)
 }
 
 // MaxSpan returns the largest busy time — the modeled parallel duration of

@@ -109,11 +109,21 @@ type Workload struct {
 // NewWorkload prepares a session over g and set and returns the workload
 // every sweep round should share.
 func NewWorkload(g *graph.Graph, set *core.Set) Workload {
-	p, err := session.New(g).Prepare(set)
+	p, err := mustSession(g).Prepare(set)
 	if err != nil {
 		panic(err) // harness inputs are constructed, not user-supplied
 	}
 	return Workload{G: g, Set: set, prep: p}
+}
+
+// mustSession opens a session, panicking on the nil-graph error: harness
+// graphs are constructed, not user-supplied.
+func mustSession(g *graph.Graph) *session.Session {
+	s, err := session.New(g)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Prepared returns the workload's prepared session, building a one-shot
@@ -122,7 +132,7 @@ func (w Workload) Prepared() *session.Prepared {
 	if w.prep != nil {
 		return w.prep
 	}
-	p, err := session.New(w.G).Prepare(w.Set)
+	p, err := mustSession(w.G).Prepare(w.Set)
 	if err != nil {
 		panic(err)
 	}

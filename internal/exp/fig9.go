@@ -7,7 +7,6 @@ import (
 	"gfd/internal/core"
 	"gfd/internal/gen"
 	"gfd/internal/graph"
-	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -42,7 +41,7 @@ func Fig9Accuracy(c Config) []AccuracyRow {
 	// All three models run from one prepared session: the shared freeze
 	// and rule lowering drop out, so the timed gap is purely evaluation
 	// strategy (pivot-localized search vs path scans vs relational joins).
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustSession(g).Prepare(set)
 	if err != nil {
 		panic(err)
 	}

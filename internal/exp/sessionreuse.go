@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"gfd/internal/graph"
-	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -52,7 +51,7 @@ func SessionReuse(c Config, rounds int) Table {
 	// update before warm rounds begin.
 	boot := w.G.Clone()
 	prepStart := time.Now()
-	bootPrep, err := session.New(boot).Prepare(w.Set)
+	bootPrep, err := mustSession(boot).Prepare(w.Set)
 	if err != nil {
 		panic(err)
 	}

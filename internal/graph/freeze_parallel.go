@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"gfd/internal/fault"
 )
 
 // This file is the parallel freeze pipeline: buildSnapshotParallel produces
@@ -67,14 +69,44 @@ func FreezeWorkers() int {
 // than the build itself on small graphs.
 const parallelFreezeMinSize = 1 << 15
 
+var (
+	freezeFallbacks atomic.Int64
+	freezeInjector  atomic.Pointer[fault.Injector]
+)
+
+// FreezeFallbacks returns how many times a parallel freeze failed and the
+// build fell back to the serial builder — the probe the fault tests (and a
+// production health check) watch. A nonzero count means degraded freeze
+// performance, never a wrong snapshot.
+func FreezeFallbacks() int { return int(freezeFallbacks.Load()) }
+
+// SetFreezeInjector arms (nil: disarms) a fault injector crossed once per
+// shard goroutine of every parallel build, letting the chaos tests panic a
+// shard deterministically. Production never calls this; the crossing is a
+// nil-check no-op.
+func SetFreezeInjector(inj *fault.Injector) { freezeInjector.Store(inj) }
+
 // buildSnapshotAuto is the builder Freeze dispatches to: parallel when
 // more than one worker is resolved and the graph is large enough to
-// amortize the fan-out, serial otherwise.
+// amortize the fan-out, serial otherwise. A panic anywhere in the parallel
+// pipeline (a shard goroutine or the merge code between phases) is
+// recovered here and the build falls back to the serial builder: freezing
+// degrades to slow before it degrades to failed.
 func buildSnapshotAuto(g *Graph) *Snapshot {
 	if w := FreezeWorkers(); w > 1 && g.Size() >= parallelFreezeMinSize {
-		return buildSnapshotParallel(g, w)
+		if s := tryBuildParallel(g, w); s != nil {
+			return s
+		}
+		freezeFallbacks.Add(1)
 	}
 	return buildSnapshot(g)
+}
+
+// tryBuildParallel runs the parallel pipeline, converting any panic
+// (re-raised onto this goroutine by runShards) into a nil result.
+func tryBuildParallel(g *Graph, workers int) (s *Snapshot) {
+	defer func() { _ = recover() }()
+	return buildSnapshotParallel(g, workers)
 }
 
 // BuildSnapshot builds a fresh snapshot with an explicit worker count,
@@ -93,21 +125,35 @@ func (g *Graph) BuildSnapshot(workers int) *Snapshot {
 type shard struct{ lo, hi int }
 
 // runShards executes fn over every shard, one goroutine per shard (the
-// single-shard case stays on the calling goroutine).
+// single-shard case stays on the calling goroutine). A panicking shard no
+// longer kills the process from an unrecoverable goroutine: every shard
+// recovers its own panic, the surviving shards finish, and the first
+// panic value is re-raised on the calling goroutine — where Freeze's
+// fallback (or an explicit BuildSnapshot caller) can handle it.
 func runShards(shards []shard, fn func(si, lo, hi int)) {
+	inj := freezeInjector.Load()
 	if len(shards) == 1 {
+		inj.Cross(fault.FreezeShard, 0, -1)
 		fn(0, shards[0].lo, shards[0].hi)
 		return
 	}
+	panics := make([]any, len(shards))
 	var wg sync.WaitGroup
 	wg.Add(len(shards))
 	for si, sh := range shards {
 		go func(si, lo, hi int) {
 			defer wg.Done()
+			defer func() { panics[si] = recover() }()
+			inj.Cross(fault.FreezeShard, si, -1)
 			fn(si, lo, hi)
 		}(si, sh.lo, sh.hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }
 
 // shardRanges splits [0, n) into at most `workers` near-equal contiguous

@@ -97,7 +97,11 @@ func TestOverlayIncrementalDifferentialSweep(t *testing.T) {
 				// the updated graph (cloned so the probe below can prove
 				// the incremental path itself froze nothing).
 				ref := g.Clone()
-				prep, err := session.New(ref).Prepare(set)
+				refSess, err := session.New(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prep, err := refSess.Prepare(set)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -9,7 +9,6 @@ import (
 	"gfd/internal/graph"
 	"gfd/internal/incremental"
 	"gfd/internal/pattern"
-	"gfd/internal/session"
 	"gfd/internal/validate"
 )
 
@@ -49,7 +48,7 @@ func pairWorkload(k int) (*graph.Graph, *core.Set) {
 func TestWarmDetectSkipsEstimation(t *testing.T) {
 	ctx := context.Background()
 	g, set := pairWorkload(12)
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustOpen(t, g).Prepare(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +109,7 @@ func TestWarmDetectSkipsEstimation(t *testing.T) {
 func TestApplyInvalidatesOnlyTouchedBlocks(t *testing.T) {
 	ctx := context.Background()
 	g, set := pairWorkload(12)
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)

@@ -32,7 +32,7 @@ func TestApplySweepNeverRefreezes(t *testing.T) {
 	if set.Len() == 0 {
 		t.Skip("no rules mined")
 	}
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestApplySweepNeverRefreezes(t *testing.T) {
 			}
 			// Cold reference: fresh session over a clone re-freezes and must
 			// agree with the overlay-backed warm path.
-			refPrep, err := session.New(g.Clone()).Prepare(set)
+			refPrep, err := mustOpen(t, g.Clone()).Prepare(set)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,7 +113,7 @@ func TestApplyCompactsPastFraction(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
 	}
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +147,7 @@ func TestApplyCompactsPastFraction(t *testing.T) {
 // behind a true Synced().
 func TestDetectorRecoversFromSharedOverlayMutations(t *testing.T) {
 	g, set, melbourne := capitalWorkload()
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	det := sess.Incremental(set)
 	if det.Len() != 2 {
 		t.Fatalf("initial detector violations = %d, want 2", det.Len())
@@ -191,7 +191,7 @@ func TestConcurrentDetectAcrossPreparedSetsOverOverlay(t *testing.T) {
 	setB := core.MustNewSet(core.MustNew("cap_named", q, nil,
 		[]core.Literal{core.Const("y", "val", "Canberra")}))
 
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	pa, err := sess.Prepare(setA)
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +230,7 @@ func TestSessionFollowsDetectorCompaction(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
 	}
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +266,7 @@ func TestInterleavedSessionAndDetectorApplies(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g.MustAddEdge(au, g.AddNode("city", graph.Attrs{"val": fmt.Sprintf("c%d", i)}), "twin")
 	}
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	det := sess.Incremental(set)
 	const rounds = 20
 	for i := 0; i < rounds; i++ {

@@ -7,7 +7,7 @@
 // rules onto the frozen symbol table, enumerate, check. A Session owns
 // the graph side of that lifecycle and a Prepared owns the rule side:
 //
-//	sess := session.New(g)
+//	sess, _ := session.New(g)
 //	prep, _ := sess.Prepare(set) // freeze + lower, once
 //	res, _ := prep.Detect(ctx, validate.Options{Engine: validate.EngineReplicated, N: 16})
 //	... // more Detect / Stream calls: no freeze, no re-lowering
@@ -60,14 +60,19 @@ type Session struct {
 	overlay      *graph.Overlay // live delta view; nil when no update flowed through the session
 }
 
+// ErrNilGraph is returned by New when opened on a nil graph — a typed
+// error instead of the panic it used to be, so servers embedding the
+// session API can reject a bad request without a recover.
+var ErrNilGraph = errors.New("session: nil graph")
+
 // New opens a session on g. The graph stays owned by the caller: build
 // and mutate it directly, and let the session pay the compilation costs
-// once per version.
-func New(g *graph.Graph) *Session {
+// once per version. A nil graph returns ErrNilGraph.
+func New(g *graph.Graph) (*Session, error) {
 	if g == nil {
-		panic("session: nil graph")
+		return nil, ErrNilGraph
 	}
-	return &Session{g: g}
+	return &Session{g: g}, nil
 }
 
 // Graph returns the session's graph.

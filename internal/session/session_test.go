@@ -15,6 +15,17 @@ import (
 	"gfd/internal/validate"
 )
 
+// mustOpen opens a session over g, failing the test on error — test
+// graphs are constructed, never nil.
+func mustOpen(t testing.TB, g *graph.Graph) *session.Session {
+	t.Helper()
+	sess, err := session.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
 // minedWorkload builds a noisy random graph plus mined rules, seeded;
 // seeds that mine nothing fall through to nearby ones so every caller
 // gets a non-empty set deterministically.
@@ -66,7 +77,7 @@ func TestDetectMatchesFreeFunctions(t *testing.T) {
 		// Mining may have frozen the pre-noise graph; count builds from
 		// the session's preparation on.
 		base := g.SnapshotBuilds()
-		prep, err := session.New(g).Prepare(set)
+		prep, err := mustOpen(t, g).Prepare(set)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +152,7 @@ func TestDetectMatchesFreeFunctions(t *testing.T) {
 func TestBaselineEnginesMatchBaselinePackage(t *testing.T) {
 	ctx := context.Background()
 	g, set := minedWorkload(t, 11)
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustOpen(t, g).Prepare(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +186,7 @@ func TestBaselineEnginesMatchBaselinePackage(t *testing.T) {
 func TestMutationBetweenDetectsRefreezes(t *testing.T) {
 	ctx := context.Background()
 	g, set, melbourne := capitalWorkload()
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustOpen(t, g).Prepare(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +243,7 @@ func TestMutationBetweenDetectsRefreezes(t *testing.T) {
 func TestStreamMatchesDetect(t *testing.T) {
 	ctx := context.Background()
 	g, set := minedWorkload(t, 5)
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustOpen(t, g).Prepare(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +277,7 @@ func TestStreamMatchesDetect(t *testing.T) {
 func TestStreamEarlyStop(t *testing.T) {
 	ctx := context.Background()
 	g, set, _ := capitalWorkload() // deterministic: exactly 2 violations
-	prep, err := session.New(g).Prepare(set)
+	prep, err := mustOpen(t, g).Prepare(set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +298,7 @@ func TestStreamEarlyStop(t *testing.T) {
 // TestPrepareNilSet: the one Prepare error path.
 func TestPrepareNilSet(t *testing.T) {
 	g, _, _ := capitalWorkload()
-	if _, err := session.New(g).Prepare(nil); err == nil {
+	if _, err := mustOpen(t, g).Prepare(nil); err == nil {
 		t.Error("Prepare(nil) must error")
 	}
 }
@@ -295,7 +306,7 @@ func TestPrepareNilSet(t *testing.T) {
 // TestEmptySet: an empty rule set prepares and detects cleanly.
 func TestEmptySet(t *testing.T) {
 	g, _, _ := capitalWorkload()
-	prep, err := session.New(g).Prepare(core.MustNewSet())
+	prep, err := mustOpen(t, g).Prepare(core.MustNewSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +327,7 @@ func TestEmptySet(t *testing.T) {
 func TestIncrementalIntegration(t *testing.T) {
 	ctx := context.Background()
 	g, set, melbourne := capitalWorkload()
-	sess := session.New(g)
+	sess := mustOpen(t, g)
 	prep, err := sess.Prepare(set)
 	if err != nil {
 		t.Fatal(err)

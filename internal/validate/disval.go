@@ -33,12 +33,17 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 }
 
 // DisValB is disVal over a prepared bundle with cooperative cancellation
-// and optional streaming, with the same contract as RepValB.
-func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt Options, emit func(Violation) bool) (*Result, error) {
+// and optional streaming, with the same contract as RepValB — including
+// the fault-tolerant detection scheduler (runtime.go): a retried or
+// reassigned unit re-runs its prefetch / partial-match exchange on the new
+// worker, so recovery pays its shipping like the paper's model demands.
+func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt Options, emit func(Violation) bool) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		// A dead context must not pay for the estimation phase.
 		return &Result{}, err
 	}
+	res = &Result{}
+	defer engineRecover(&err)
 	opt = opt.Normalized()
 	if frag.N != opt.N {
 		// The fragmentation fixes worker count; workers beyond frag.N
@@ -48,7 +53,8 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	g := b.g
 	start := time.Now()
 	cl := cluster.New(opt.N, opt.Cost)
-	res := &Result{}
+	inj := opt.Inject.Arm(opt.N)
+	cl.Arm(inj)
 
 	set, groups, gk := b.ruleGroupsKeyed(opt)
 	res.Rules = set.Len()
@@ -60,7 +66,10 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	// per-worker ship costs are memoized per (variant, fragmentation);
 	// warm rounds replay the comm charges and skip the work (estimate.go).
 	estStart := time.Now()
-	units, estSpan := b.estimateFrag(cl, groups, gk, opt, frag)
+	units, estSpan, err := b.estimateFrag(cl, groups, gk, opt, frag)
+	if err != nil {
+		return res, err
+	}
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -91,55 +100,51 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	}
 	cl.EndRound()
 
-	// ---- dlocalVio: detection with prefetch / partial-match choice ---
+	// ---- dlocalVio: detection with prefetch / partial-match choice,
+	// under the fault-tolerant scheduler. The block exchange runs in the
+	// per-attempt prep hook, so a unit reassigned after a worker death (or
+	// retried after a deadline miss) re-ships its block to the worker that
+	// actually runs it — recovery is charged, not free.
 	detStart := time.Now()
 	var sink *streamSink
 	if emit != nil {
 		sink = &streamSink{yield: emit}
 	}
-	perWorker := make([]Report, opt.N)
 	prefetched := make([]int, opt.N)
 	partials := make([]int, opt.N)
-	busy := cl.RunMeasured(func(w int) {
-		det := newUnitDetector(topo, &cancelCheck{ctx: ctx})
-		out := workerEmit(sink, &perWorker[w])
-		for _, ui := range assign[w] {
-			if det.cancel.canceled() {
-				return
-			}
-			u := units[ui]
-			grp := groups[u.group]
-			shipped := u.shipBytes[w]
-			strategy := "prefetch"
-			// Weighing partial-match shipping against prefetching costs a
-			// scan of the block; it is only worth considering when the
-			// prefetch is substantial.
-			if !opt.NoOptimize && shipped > minPartialConsideration {
-				if pb := partialMatchBytes(g, topo, frag, grp, u, w, shipped); pb < shipped {
-					shipped = pb
-					strategy = "partial"
-				}
-			}
-			if shipped > 0 {
-				// Data arrives from each fragment owning a missing part;
-				// charge it as one bulk transfer into w.
-				cl.Ship(owningPeer(frag, u, w), w, shipped)
-			}
-			if strategy == "partial" {
-				partials[w]++
-			} else {
-				prefetched[w]++
-			}
-			if !det.detect(grp, u, !opt.NoOptimize, out) {
-				return
+	prep := func(w, ui int) {
+		u := units[ui]
+		grp := groups[u.group]
+		shipped := u.shipBytes[w]
+		strategy := "prefetch"
+		// Weighing partial-match shipping against prefetching costs a
+		// scan of the block; it is only worth considering when the
+		// prefetch is substantial.
+		if !opt.NoOptimize && shipped > minPartialConsideration {
+			if pb := partialMatchBytes(g, topo, frag, grp, u, w, shipped); pb < shipped {
+				shipped = pb
+				strategy = "partial"
 			}
 		}
-	})
+		if shipped > 0 {
+			// Data arrives from each fragment owning a missing part;
+			// charge it as one bulk transfer into w.
+			cl.Ship(owningPeer(frag, u, w), w, shipped)
+		}
+		if strategy == "partial" {
+			partials[w]++
+		} else {
+			prefetched[w]++
+		}
+	}
+	run := &detectRun{ctx: ctx, cl: cl, topo: topo, groups: groups, units: units, opt: opt, sink: sink, inj: inj, prep: prep}
+	span, comp, perr := run.run(assign)
 	res.DetectWall = time.Since(detStart)
-	res.DetectSpan = cluster.MaxSpan(busy)
+	res.DetectSpan = span
+	res.Completeness = comp
 	cl.EndRound() // block/partial-match exchanges during detection
 
-	for w, out := range perWorker {
+	for w, out := range run.perWorker {
 		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
 		res.Violations = append(res.Violations, out...)
 		res.PrefetchUnits += prefetched[w]
@@ -153,7 +158,13 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	res.Messages = st.TotalMsgs
 	res.Comm = cl.CommTime()
 	res.Wall = time.Since(start)
-	return res, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if perr != nil {
+		return res, perr
+	}
+	return res, nil
 }
 
 // commCostWeight converts shipped bytes into load-comparable units for the

@@ -5,6 +5,7 @@ import (
 
 	"gfd/internal/cluster"
 	"gfd/internal/core"
+	"gfd/internal/fault"
 	"gfd/internal/fragment"
 	"gfd/internal/graph"
 	"gfd/internal/match"
@@ -54,10 +55,45 @@ type Options struct {
 	Seed int64
 	// Cost prices simulated communication.
 	Cost cluster.CostModel
+
+	// Retry is the per-unit retry budget the parallel engines apply when a
+	// worker dies or a unit misses its deadline. The zero value normalizes
+	// to the defaults (DefaultRetryMax attempts beyond the first,
+	// DefaultRetryBackoff base backoff); Max < 0 disables retries.
+	Retry Retry
+	// UnitDeadline bounds one attempt of one work unit: an attempt running
+	// longer is abandoned (cooperatively, at the same strided checkpoints
+	// as cancellation) and the unit is retried under the Retry budget.
+	// 0 means no per-unit deadline.
+	UnitDeadline time.Duration
+	// Inject arms a deterministic fault plan for this run (see
+	// internal/fault). nil — the production state — makes every injection
+	// point a nil-check no-op.
+	Inject *fault.Plan
 }
 
+// Retry configures the parallel engines' unit retry policy: a unit may be
+// re-attempted up to Max times beyond its first attempt, and each recovery
+// round backs off exponentially from Backoff (doubled per round, capped at
+// maxBackoffFactor times the base) before reassigning failed units to live
+// workers.
+type Retry struct {
+	Max     int           // retries per unit after the first attempt; < 0 disables
+	Backoff time.Duration // base recovery-round backoff; < 0 disables
+}
+
+// Default retry policy: two retries with a 1ms base backoff. Backoff only
+// costs anything after a failure, so the defaults are safe for fault-free
+// runs.
+const (
+	DefaultRetryMax     = 2
+	DefaultRetryBackoff = time.Millisecond
+	maxBackoffFactor    = 8
+)
+
 // Normalized fills unset fields with their defaults: the replicated
-// engine, 4 workers, histogram m = 16, the default cost model.
+// engine, 4 workers, histogram m = 16, the default cost model, the default
+// retry policy.
 func (o Options) Normalized() Options {
 	o.Engine = o.Engine.Resolve()
 	if o.N < 1 {
@@ -68,6 +104,16 @@ func (o Options) Normalized() Options {
 	}
 	if o.Cost == (cluster.CostModel{}) {
 		o.Cost = cluster.DefaultCostModel()
+	}
+	if o.Retry.Max == 0 {
+		o.Retry.Max = DefaultRetryMax
+	} else if o.Retry.Max < 0 {
+		o.Retry.Max = 0
+	}
+	if o.Retry.Backoff == 0 {
+		o.Retry.Backoff = DefaultRetryBackoff
+	} else if o.Retry.Backoff < 0 {
+		o.Retry.Backoff = 0
 	}
 	return o
 }
@@ -96,7 +142,30 @@ type Result struct {
 	PrefetchUnits int // disVal: units evaluated by block prefetching
 	PartialUnits  int // disVal: units evaluated by partial-match shipping
 	SplitUnits    int // units produced by replicate-and-split
+
+	// Completeness reports how much of the scheduled workload actually
+	// completed: an honest answer instead of a silently clean report when
+	// workers died or units exhausted their retry budgets. Filled by the
+	// parallel engines (repVal / disVal); Complete() is trivially true for
+	// the single-sink engines, which either finish or return an error.
+	Completeness Completeness
 }
+
+// Completeness is the execution census of one detection run under the
+// fault-tolerant scheduler.
+type Completeness struct {
+	Units          int // work units scheduled
+	Attempted      int // units started at least once
+	Succeeded      int // units that completed
+	Failed         int // units abandoned: retry budget exhausted or no live workers left
+	Retries        int // re-attempts beyond each unit's first
+	WorkerDeaths   int // workers lost to recovered panics
+	RecoveryRounds int // extra supersteps spent reassigning failed units
+}
+
+// Complete reports whether every scheduled unit succeeded. A cancelled
+// run is not complete (unreached units are neither succeeded nor failed).
+func (c Completeness) Complete() bool { return c.Succeeded == c.Units }
 
 // TotalTime is wall time plus modeled communication time.
 func (r *Result) TotalTime() time.Duration { return r.Wall + r.Comm }
@@ -132,14 +201,24 @@ type unitDetector struct {
 	scratch core.Match
 	block   *graph.EpochSet // reusable data block, refilled per unit
 	cancel  *cancelCheck    // per-worker; consulted between matches
+
+	// Fault-injection context: nil inj in production (crossings are
+	// nil-check no-ops); worker/unit identify the current execution for
+	// the injected-panic payloads.
+	inj    *fault.Injector
+	worker int
+	unit   int
 }
 
-func newUnitDetector(topo graph.Topology, cancel *cancelCheck) *unitDetector {
+func newUnitDetector(topo graph.Topology, cancel *cancelCheck, inj *fault.Injector, worker int) *unitDetector {
 	return &unitDetector{
 		m:      match.NewMatcher(topo),
 		pin:    make(map[int]graph.NodeID, 2),
 		block:  graph.NewEpochSet(topo.NumNodes()),
 		cancel: cancel,
+		inj:    inj,
+		worker: worker,
+		unit:   -1,
 	}
 }
 
@@ -187,6 +266,12 @@ func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, emit fun
 			StripeNode: stripeNode(grp, u),
 		}
 		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
+			if d.inj != nil {
+				// Two crossings per delivered match: the match itself and
+				// the literal evaluation about to run on it.
+				d.inj.Cross(fault.Match, d.worker, d.unit)
+				d.inj.Cross(fault.Literal, d.worker, d.unit)
+			}
 			if d.cancel.canceled() || !grp.checkMatch(d.m.Topo(), m, &d.scratch, emit) {
 				ok = false
 				return false

@@ -128,12 +128,19 @@ func replayShips(cl *cluster.Cluster, ships []shipRec) {
 // for the given grouping variant, serving warm rounds entirely from the
 // cache (comm charges replayed, zero traversals). The returned slice is
 // shared and read-only; applySplit copies before mutating.
-func (b *Bundle) estimateFor(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) ([]workUnit, time.Duration) {
-	e := b.baseEstimate(cl, groups, gk, opt)
-	return e.units, e.span
+//
+// Estimation is not unit-granular, so a panic here (recovered by the
+// cluster into a *WorkerError) is not retried: the error propagates and
+// the failed pass is not cached.
+func (b *Bundle) estimateFor(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) ([]workUnit, time.Duration, error) {
+	e, err := b.baseEstimate(cl, groups, gk, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.units, e.span, nil
 }
 
-func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) *estEntry {
+func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options) (*estEntry, error) {
 	key := estKey{gk: gk, n: opt.N, histogramM: opt.HistogramM}
 	b.mu.Lock()
 	if e, ok := b.est.entries[key]; ok {
@@ -141,7 +148,7 @@ func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk group
 		b.mu.Unlock()
 		replayShips(cl, e.ships)
 		cl.EndRound()
-		return e
+		return e, nil
 	}
 	b.mu.Unlock()
 
@@ -150,7 +157,10 @@ func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk group
 		ships = append(ships, shipRec{from, to, bytes})
 		cl.Ship(from, to, bytes)
 	}
-	units, span := b.assembleUnits(cl, groups, opt, ship)
+	units, span, err := b.assembleUnits(cl, groups, opt, ship)
+	if err != nil {
+		return nil, err
+	}
 	cl.EndRound()
 	e := &estEntry{units: units, span: span, ships: ships}
 
@@ -166,7 +176,7 @@ func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk group
 	}
 	b.est.builds++
 	b.mu.Unlock()
-	return e
+	return e, nil
 }
 
 // maxEstEntries / maxFragEstEntries bound the per-bundle variant caches:
@@ -182,7 +192,7 @@ const (
 // estimateFrag is the fragmented-engine estimation: disPar's candidate
 // reports, the shared base estimation, and per-worker ship costs attached
 // to a private copy of the units — all memoized per (variant, partition).
-func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options, frag *fragment.Fragmentation) ([]workUnit, time.Duration) {
+func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options, frag *fragment.Fragmentation) ([]workUnit, time.Duration, error) {
 	key := fragEstKey{ek: estKey{gk: gk, n: opt.N, histogramM: opt.HistogramM}, frag: frag}
 	b.mu.Lock()
 	if e, ok := b.est.fragEntries[key]; ok {
@@ -192,7 +202,7 @@ func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk group
 		cl.EndRound()
 		replayShips(cl, e.estShips)
 		cl.EndRound()
-		return e.units, e.span
+		return e.units, e.span, nil
 	}
 	b.mu.Unlock()
 
@@ -202,7 +212,10 @@ func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk group
 		cl.Ship(from, to, bytes)
 	}, frag, groups)
 	cl.EndRound()
-	base := b.baseEstimate(cl, groups, gk, opt)
+	base, err := b.baseEstimate(cl, groups, gk, opt)
+	if err != nil {
+		return nil, 0, err
+	}
 	units := append([]workUnit(nil), base.units...)
 	for i := range units {
 		attachShipCosts(b.g, b.topo, frag, &units[i])
@@ -219,7 +232,7 @@ func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk group
 		b.est.fragEntries[key] = e
 	}
 	b.mu.Unlock()
-	return e.units, e.span
+	return e.units, e.span, nil
 }
 
 // assembleUnits runs the parallel workload-estimation phase shared by
@@ -228,7 +241,7 @@ func (b *Bundle) estimateFrag(cl *cluster.Cluster, groups []*ruleGroup, gk group
 // worker assembles unit descriptors from the (cached) block-size
 // measurements and reports them to the coordinator via ship. The caller
 // owns the communication round.
-func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Options, ship func(from, to int, bytes int64)) ([]workUnit, time.Duration) {
+func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Options, ship func(from, to int, bytes int64)) ([]workUnit, time.Duration, error) {
 	topo := b.topo
 	type task struct {
 		group  int
@@ -274,12 +287,15 @@ func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Opt
 
 	// Phase A: resolve every needed c-hop block size, traversing only the
 	// pairs the bundle-level cache is missing.
-	sizeOf, sizeSpan := b.measureSizes(cl, groups, cands, opt.N)
+	sizeOf, sizeSpan, err := b.measureSizes(cl, groups, cands, opt.N)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	// Phase B: workers assemble the unit descriptors for their range
 	// combinations from the resolved sizes.
 	perWorker := make([][]workUnit, opt.N)
-	busy := cl.RunMeasured(func(w int) {
+	busy, err := cl.RunMeasured(func(w int) {
 		var mine []workUnit
 		for ti := w; ti < len(tasks); ti += opt.N {
 			t := tasks[ti]
@@ -300,6 +316,9 @@ func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Opt
 		}
 		perWorker[w] = mine
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var units []workUnit
 	for w, mine := range perWorker {
 		units = append(units, mine...)
@@ -307,7 +326,7 @@ func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Opt
 		// message per worker).
 		ship(w, cluster.Coordinator, int64(len(mine))*unitDescriptorBytes)
 	}
-	return units, sizeSpan + cluster.MaxSpan(busy)
+	return units, sizeSpan + cluster.MaxSpan(busy), nil
 }
 
 // measureSizes resolves |G_z̄[z]| for every (candidate, radius) pair any
@@ -317,7 +336,7 @@ func (b *Bundle) assembleUnits(cl *cluster.Cluster, groups []*ruleGroup, opt Opt
 // reconstructed from the per-pair costs over the round-robin schedule, so
 // it is faithful to a from-scratch n-worker phase whether the pairs were
 // cached or traversed this round.
-func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration) {
+func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands [][][]graph.NodeID, n int) (func(graph.NodeID, int) int, time.Duration, error) {
 	seen := make(map[sizeReq]struct{})
 	var reqs []sizeReq
 	for gi, grp := range groups {
@@ -348,7 +367,7 @@ func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands []
 	if len(missing) > 0 {
 		topo := b.topo
 		partial := make([]map[sizeReq]sizeVal, n)
-		cl.RunMeasured(func(w int) {
+		_, err := cl.RunMeasured(func(w int) {
 			mine := make(map[sizeReq]sizeVal)
 			start := time.Now()
 			var weight int64
@@ -369,6 +388,12 @@ func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands []
 			}
 			partial[w] = mine
 		})
+		if err != nil {
+			// A measurement worker died; the completed traversals from the
+			// surviving workers are still valid, but this estimation pass
+			// cannot finish. Do not pollute the cache with a partial merge.
+			return nil, 0, err
+		}
 		b.mu.Lock()
 		merged := make(map[sizeReq]sizeVal, len(b.est.sizes)+len(missing))
 		for k, v := range b.est.sizes {
@@ -389,7 +414,7 @@ func (b *Bundle) measureSizes(cl *cluster.Cluster, groups []*ruleGroup, cands []
 		busy[i%n] += resolved[k].cost
 	}
 	sizeOf := func(v graph.NodeID, c int) int { return resolved[sizeReq{v, c}].size }
-	return sizeOf, cluster.MaxSpan(busy)
+	return sizeOf, cluster.MaxSpan(busy), nil
 }
 
 // inheritEstimationLocked carries the estimation cache across a bundle

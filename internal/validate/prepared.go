@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gfd/internal/core"
 	"gfd/internal/graph"
@@ -333,19 +334,52 @@ func (s *streamSink) emit(v Violation) bool {
 // zero-alloc enumeration hot path must not hit per match.
 const cancelStride = 64
 
-// cancelCheck is a per-worker cooperative cancellation probe. It is not
-// safe for concurrent use; every worker owns one.
+// cancelCheck is a per-worker cooperative cancellation probe, optionally
+// carrying a per-unit deadline (the fault-tolerant scheduler arms one per
+// attempt). It is not safe for concurrent use; every worker owns one.
 type cancelCheck struct {
-	ctx context.Context
-	n   uint32
-	hit bool
+	ctx         context.Context
+	deadline    time.Time // per-attempt deadline; zero = none
+	n           uint32
+	hit         bool // context expired — the whole run must stop
+	deadlineHit bool // only the current attempt's deadline expired
 }
 
-// canceled reports whether the context is done, consulting it on the
-// first call and then every cancelStride calls.
+// arm sets the current attempt's deadline and clears any expiry left over
+// from the previous unit.
+func (c *cancelCheck) arm(deadline time.Time) {
+	c.deadline = deadline
+	c.deadlineHit = false
+}
+
+// expiredNow checks the armed deadline directly, without the stride — the
+// runtime calls it at attempt boundaries, where a stall before enumeration
+// (an injected straggler, a slow block shipment) may have consumed the
+// whole budget for a unit too small to ever reach a strided checkpoint.
+func (c *cancelCheck) expiredNow() bool {
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.deadlineHit = true
+		return true
+	}
+	return false
+}
+
+// disarm clears the per-attempt deadline (and its expiry flag) so the
+// worker's between-unit checks see only the context.
+func (c *cancelCheck) disarm() {
+	c.deadline = time.Time{}
+	c.deadlineHit = false
+}
+
+// canceled reports whether the run (context) or the current attempt
+// (deadline) is done, consulting the clocks on the first call and then
+// every cancelStride calls.
 func (c *cancelCheck) canceled() bool {
-	if c == nil || c.hit {
-		return c != nil && c.hit
+	if c == nil {
+		return false
+	}
+	if c.hit || c.deadlineHit {
+		return true
 	}
 	c.n++
 	if c.n != 1 && c.n%cancelStride != 0 {
@@ -353,6 +387,11 @@ func (c *cancelCheck) canceled() bool {
 	}
 	if c.ctx.Err() != nil {
 		c.hit = true
+		return true
 	}
-	return c.hit
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.deadlineHit = true
+		return true
+	}
+	return false
 }

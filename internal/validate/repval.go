@@ -34,15 +34,23 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 // stream to it as they are found (serialized across workers, stopping the
 // engine when it returns false) and Result.Violations stays empty;
 // otherwise they are collected per worker, unioned and sorted.
-func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) bool) (*Result, error) {
+//
+// Detection runs under the fault-tolerant scheduler (runtime.go): worker
+// panics are isolated, failed units are retried under Options.Retry, and
+// when budgets exhaust the error is a *PartialError (errors.Is ErrPartial)
+// with Result.Completeness carrying the census.
+func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) bool) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		// A dead context must not pay for the estimation phase.
 		return &Result{}, err
 	}
+	res = &Result{}
+	defer engineRecover(&err)
 	opt = opt.Normalized()
 	start := time.Now()
 	cl := cluster.New(opt.N, opt.Cost)
-	res := &Result{}
+	inj := opt.Inject.Arm(opt.N)
+	cl.Arm(inj)
 
 	set, groups, gk := b.ruleGroupsKeyed(opt)
 	res.Rules = set.Len()
@@ -52,7 +60,10 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	// ---- bPar: parallel workload estimation (cached per variant; warm
 	// rounds replay the memoized unit set, span and comm charges) -------
 	estStart := time.Now()
-	units, estSpan := b.estimateFor(cl, groups, gk, opt)
+	units, estSpan, err := b.estimateFor(cl, groups, gk, opt)
+	if err != nil {
+		return res, err
+	}
 	res.EstimateSpan = estSpan
 	theta := splitThreshold(opt, units)
 	var split int
@@ -83,31 +94,21 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	}
 	cl.EndRound()
 
-	// ---- localVio: parallel local detection --------------------------
+	// ---- localVio: parallel local detection under the fault-tolerant
+	// scheduler (runtime.go) -------------------------------------------
 	detStart := time.Now()
 	var sink *streamSink
 	if emit != nil {
 		sink = &streamSink{yield: emit}
 	}
-	perWorker := make([]Report, opt.N)
-	busy := cl.RunMeasured(func(w int) {
-		det := newUnitDetector(topo, &cancelCheck{ctx: ctx})
-		out := workerEmit(sink, &perWorker[w])
-		for _, ui := range assign[w] {
-			if det.cancel.canceled() {
-				return
-			}
-			u := units[ui]
-			if !det.detect(groups[u.group], u, !opt.NoOptimize, out) {
-				return
-			}
-		}
-	})
+	run := &detectRun{ctx: ctx, cl: cl, topo: topo, groups: groups, units: units, opt: opt, sink: sink, inj: inj}
+	span, comp, perr := run.run(assign)
 	res.DetectWall = time.Since(detStart)
-	res.DetectSpan = cluster.MaxSpan(busy)
+	res.DetectSpan = span
+	res.Completeness = comp
 
 	// ---- union at the coordinator -------------------------------------
-	for w, out := range perWorker {
+	for w, out := range run.perWorker {
 		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
 		res.Violations = append(res.Violations, out...)
 	}
@@ -119,7 +120,13 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	res.Messages = st.TotalMsgs
 	res.Comm = cl.CommTime()
 	res.Wall = time.Since(start)
-	return res, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if perr != nil {
+		return res, perr
+	}
+	return res, nil
 }
 
 // workerEmit selects one worker's violation consumer: the shared

@@ -1,0 +1,390 @@
+package validate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gfd/internal/cluster"
+	"gfd/internal/fault"
+	"gfd/internal/graph"
+	"gfd/internal/workload"
+)
+
+// This file is the fault-tolerant execution runtime shared by repVal and
+// disVal. The paper's engines ran on a 20-node EC2 cluster where worker
+// loss and stragglers are the steady state; the detection superstep here
+// gives the simulated cluster the same failure semantics:
+//
+//   - a panic inside a worker kills only that worker: the panic is
+//     recovered into a typed *cluster.WorkerError (worker id, unit id,
+//     stack), the surviving workers drain their assignments, and the
+//     coordinator reassigns the dead worker's remaining units to live
+//     workers in recovery rounds;
+//   - a unit attempt exceeding Options.UnitDeadline is abandoned
+//     cooperatively (the worker survives) and retried under the per-unit
+//     budget Options.Retry.Max, with capped exponential backoff between
+//     recovery rounds;
+//   - every reassignment re-ships the unit descriptor (and, for disVal,
+//     the unit's block via the per-attempt prep hook) through the BSP cost
+//     model, so DetectSpan and the comm figures stay honest under faults;
+//   - retried units never double-report: per-unit enumeration is
+//     deterministic, so a retry skips exactly the violations its earlier
+//     attempts already delivered (unitState.emitted) before emitting the
+//     rest — the violation set of a recovered run is byte-identical to the
+//     fault-free run's (the chaos differential suite pins this);
+//   - when budgets exhaust (or every worker is dead) the run returns a
+//     *PartialError (errors.Is ErrPartial) listing the failed units, and
+//     Result.Completeness carries the census — partial results announce
+//     themselves instead of masquerading as clean reports.
+//
+// The fault-free fast path is the old static superstep: round 0 runs the
+// LPT / bi-criteria assignment unchanged, the per-worker recover and the
+// per-unit state writes are the only additions, and no recovery round, no
+// backoff, and no extra shipment happens unless a failure did.
+
+// ErrPartial marks a detection result whose violation set may be
+// incomplete: some work units were abandoned after exhausting their retry
+// budget (or losing every worker). Match with errors.Is; the concrete
+// error is a *PartialError listing the failures, and Result.Completeness
+// carries the counts.
+var ErrPartial = errors.New("validate: partial result")
+
+// UnitFailure records one work unit the scheduler had to abandon.
+type UnitFailure struct {
+	Unit     int   // index into the run's unit set
+	Group    int   // rule group of the unit
+	Attempts int   // attempts consumed (0: never started — all workers died first)
+	Err      error // last failure: *cluster.WorkerError or context.DeadlineExceeded
+}
+
+// PartialError aggregates the abandoned units of a partial run. It
+// satisfies errors.Is(err, ErrPartial) and unwraps to the per-unit
+// failures, so a *cluster.WorkerError or context.DeadlineExceeded buried
+// in the run remains matchable.
+type PartialError struct {
+	Failures []UnitFailure
+}
+
+// Error summarizes the failure set.
+func (e *PartialError) Error() string {
+	if len(e.Failures) == 1 {
+		f := e.Failures[0]
+		return fmt.Sprintf("validate: partial result: unit %d failed after %d attempts: %v", f.Unit, f.Attempts, f.Err)
+	}
+	return fmt.Sprintf("validate: partial result: %d units failed (first: %v)", len(e.Failures), e.Failures[0].Err)
+}
+
+// Is matches ErrPartial.
+func (e *PartialError) Is(target error) bool { return target == ErrPartial }
+
+// Unwrap exposes the per-unit causes to errors.Is / errors.As.
+func (e *PartialError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Err
+	}
+	return out
+}
+
+// unitState tracks one unit across attempts and recovery rounds. It is
+// written by the worker currently owning the unit (ownership moves only
+// between rounds) and read by the coordinator after each superstep.
+type unitState struct {
+	attempts int
+	emitted  int // violations already delivered by earlier attempts; retries skip these
+	done     bool
+	failed   bool // already recorded in the failure list; later rounds skip it
+	lastErr  error
+}
+
+// detectRun is one fault-tolerant detection phase: the shared inputs plus
+// the cross-round scheduler state.
+type detectRun struct {
+	ctx    context.Context
+	cl     *cluster.Cluster
+	topo   graph.Topology
+	groups []*ruleGroup
+	units  []workUnit
+	opt    Options // normalized
+	sink   *streamSink
+	inj    *fault.Injector
+	// prep runs at the start of every attempt on the executing worker —
+	// disVal charges the unit's block shipment (prefetch or partial-match)
+	// here, so a reassigned or retried unit re-ships to its new worker.
+	prep func(w, ui int)
+
+	mu        sync.Mutex // guards live/deaths/stopped and dead-worker state writes
+	states    []unitState
+	live      []bool
+	perWorker []Report
+	deaths    int
+	stopped   bool // a streaming yield returned false
+}
+
+// run executes the detection phase from the given initial assignment and
+// returns the modeled span (summed across recovery supersteps), the
+// completeness census, and the partial-failure error (nil when every unit
+// succeeded or the run was cancelled/stopped first).
+func (r *detectRun) run(assign workload.Assignment) (time.Duration, Completeness, *PartialError) {
+	n := r.opt.N
+	r.states = make([]unitState, len(r.units))
+	r.live = make([]bool, n)
+	for i := range r.live {
+		r.live[i] = true
+	}
+	r.perWorker = make([]Report, n)
+
+	maxAttempts := 1 + r.opt.Retry.Max
+	todo := make([][]int, n)
+	copy(todo, assign)
+
+	var span time.Duration
+	var failures []UnitFailure
+	round := 0
+	for {
+		// The superstep. Workers recover their own panics (keeping unit
+		// context), so the cluster-level net stays unused here.
+		busy, _ := r.cl.RunMeasured(func(w int) { r.worker(w, todo[w]) })
+		span += cluster.MaxSpan(busy)
+		if r.ctx.Err() != nil || r.stopped {
+			// Cancelled or stream-stopped: unreached units are neither
+			// succeeded nor failed; the caller reports ctx.Err() / nil.
+			break
+		}
+		pending := r.collect(maxAttempts, &failures)
+		if len(pending) == 0 {
+			break
+		}
+		liveIdx := r.liveWorkers()
+		if len(liveIdx) == 0 {
+			// Nothing left to run on. Everything pending is abandoned.
+			for _, ui := range pending {
+				failures = append(failures, r.failure(ui))
+			}
+			break
+		}
+		round++
+		if !r.backoff(round) {
+			break // context died during backoff
+		}
+		todo = r.reassign(pending, liveIdx, n)
+		r.cl.EndRound() // reassignment descriptor exchange
+	}
+
+	comp := Completeness{Units: len(r.units), WorkerDeaths: r.deaths, RecoveryRounds: round}
+	for i := range r.states {
+		st := &r.states[i]
+		if st.attempts > 0 {
+			comp.Attempted++
+		}
+		if st.attempts > 1 {
+			comp.Retries += st.attempts - 1
+		}
+		if st.done {
+			comp.Succeeded++
+		}
+	}
+	comp.Failed = len(failures)
+	if len(failures) == 0 {
+		return span, comp, nil
+	}
+	return span, comp, &PartialError{Failures: failures}
+}
+
+// worker drains one worker's unit list for the current round. All panics —
+// injected or genuine — are recovered at this level into a WorkerError
+// that marks the worker dead and the in-flight unit failed.
+func (r *detectRun) worker(w int, mine []int) {
+	if len(mine) == 0 {
+		return
+	}
+	det := newUnitDetector(r.topo, &cancelCheck{ctx: r.ctx}, r.inj, w)
+	cur := -1      // unit in flight, for the recover path
+	delivered := 0 // violations delivered by the in-flight attempt
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		werr := cluster.Recovered(w, cur, rec)
+		r.mu.Lock()
+		r.live[w] = false
+		r.deaths++
+		if cur >= 0 {
+			st := &r.states[cur]
+			st.emitted += delivered
+			st.lastErr = werr
+		}
+		r.mu.Unlock()
+	}()
+
+	base := workerEmit(r.sink, &r.perWorker[w])
+	var skip, found int
+	out := func(v Violation) bool {
+		// Exactly-once across retries: per-unit enumeration is
+		// deterministic, so the first `skip` violations of a retried unit
+		// were already delivered by an earlier attempt.
+		found++
+		if found <= skip {
+			return true
+		}
+		if !base(v) {
+			return false
+		}
+		delivered++
+		return true
+	}
+
+	for _, ui := range mine {
+		if det.cancel.canceled() {
+			return
+		}
+		u := r.units[ui]
+		st := &r.states[ui]
+		cur, delivered = ui, 0
+		skip, found = st.emitted, 0
+		st.attempts++
+		det.unit = ui
+		if r.prep != nil {
+			r.prep(w, ui)
+		}
+		// The deadline covers the whole attempt, including the UnitStart
+		// crossing: an injected straggler delay burns attempt time exactly
+		// like a real stall would, so DelayUnit(d) + UnitDeadline < d
+		// deterministically expires the first attempt.
+		if d := r.opt.UnitDeadline; d > 0 {
+			det.cancel.arm(time.Now().Add(d))
+		}
+		if r.inj != nil {
+			r.inj.Cross(fault.UnitStart, w, ui)
+		}
+		ok := true
+		if !det.cancel.expiredNow() {
+			ok = det.detect(r.groups[u.group], u, !r.opt.NoOptimize, out)
+		}
+		st.emitted += delivered
+		expired := det.cancel.deadlineHit
+		det.cancel.disarm()
+		cur = -1
+		if expired {
+			// The attempt missed its deadline; the worker survives and the
+			// unit goes back to the coordinator for a retry.
+			st.lastErr = fmt.Errorf("unit %d (worker %d): %w", ui, w, context.DeadlineExceeded)
+			continue
+		}
+		if det.cancel.hit {
+			return // context cancelled: the run is over
+		}
+		if !ok {
+			// A streaming yield returned false; every worker's next emit
+			// fails through the shared sink.
+			r.mu.Lock()
+			r.stopped = true
+			r.mu.Unlock()
+			return
+		}
+		st.done = true
+		st.lastErr = nil
+	}
+}
+
+// collect partitions the incomplete units after a superstep: units still
+// inside their budget are returned for reassignment; exhausted ones are
+// appended to failures.
+func (r *detectRun) collect(maxAttempts int, failures *[]UnitFailure) (pending []int) {
+	for ui := range r.states {
+		st := &r.states[ui]
+		if st.done {
+			continue
+		}
+		if st.attempts >= maxAttempts {
+			// Record the exhausted unit once; collect runs again after
+			// every recovery round and must not re-report it.
+			if !st.failed {
+				st.failed = true
+				*failures = append(*failures, r.failure(ui))
+			}
+			continue
+		}
+		pending = append(pending, ui)
+	}
+	return pending
+}
+
+func (r *detectRun) failure(ui int) UnitFailure {
+	st := &r.states[ui]
+	err := st.lastErr
+	if err == nil {
+		err = fmt.Errorf("unit %d: never started: %w", ui, errAllWorkersDead)
+	}
+	return UnitFailure{Unit: ui, Group: r.units[ui].group, Attempts: st.attempts, Err: err}
+}
+
+var errAllWorkersDead = errors.New("validate: all workers dead")
+
+func (r *detectRun) liveWorkers() []int {
+	var idx []int
+	for w, ok := range r.live {
+		if ok {
+			idx = append(idx, w)
+		}
+	}
+	return idx
+}
+
+// backoff sleeps the capped exponential recovery delay for the given
+// round, returning false if the context died while waiting.
+func (r *detectRun) backoff(round int) bool {
+	d := r.opt.Retry.Backoff
+	if d <= 0 {
+		return r.ctx.Err() == nil
+	}
+	factor := 1 << (round - 1)
+	if factor > maxBackoffFactor {
+		factor = maxBackoffFactor
+	}
+	d *= time.Duration(factor)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// reassign balances the pending units across the live workers (LPT on the
+// unit weights, like the initial assignment) and charges the descriptor
+// reshipment to each receiving worker.
+func (r *detectRun) reassign(pending, liveIdx []int, n int) [][]int {
+	weights := make([]int, len(pending))
+	for i, ui := range pending {
+		weights[i] = r.units[ui].Weight()
+	}
+	sub := workload.BalanceLPT(weights, len(liveIdx))
+	todo := make([][]int, n)
+	for li, us := range sub {
+		w := liveIdx[li]
+		for _, pi := range us {
+			todo[w] = append(todo[w], pending[pi])
+		}
+		if len(us) > 0 {
+			r.cl.Ship(cluster.Coordinator, w, int64(len(us))*unitDescriptorBytes)
+		}
+	}
+	return todo
+}
+
+// engineRecover is the last-resort safety net wrapped around every engine
+// body: a panic on the coordinator path (estimation, assignment, shipping)
+// becomes an error return instead of tearing down the process. Worker
+// panics never reach it — the scheduler recovers those with unit context.
+func engineRecover(err *error) {
+	if rec := recover(); rec != nil {
+		*err = cluster.Recovered(cluster.Coordinator, -1, rec)
+	}
+}

@@ -21,7 +21,13 @@ var ErrTimeout = errors.New("validate: sequential detection timed out")
 // stops when emit returns false (no error) or the context is cancelled
 // (the context's error is returned). It is the correctness reference for
 // the parallel engines, and exponential in the worst case.
-func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) error {
+//
+// A panic during enumeration or literal evaluation is recovered into the
+// returned error (a *cluster.WorkerError) — there is only one execution
+// stream here, so there is nothing to retry, but the caller's process
+// survives.
+func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) (err error) {
+	defer engineRecover(&err)
 	topo := b.topo
 	m := match.NewMatcher(topo)
 	cancel := &cancelCheck{ctx: ctx}
