@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|all")
+		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|all")
 		scale   = flag.Int("scale", 250, "dataset scale")
 		rules   = flag.Int("rules", 8, "rule count ‖Σ‖")
 		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
@@ -116,6 +116,11 @@ func main() {
 			fmt.Println(t)
 			return t
 		},
+		"stream": func() any {
+			t := exp.Stream(base("yago2"), 5)
+			fmt.Println(t)
+			return t
+		},
 		"incremental": func() any {
 			t := exp.Incremental(base("yago2"), 20, 6)
 			fmt.Println(t)
@@ -150,7 +155,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

@@ -1,7 +1,8 @@
 // gfdcheck validates a property graph against a set of GFD rules and
 // reports the violation set Vio(Σ, G). It demonstrates the intended
 // lifecycle: read the graph, open a Session, Prepare the rules once, then
-// Detect (or Stream) with the selected engine.
+// Detect — or, with -stream, pull violations lazily from the Violations
+// iterator as the engines find them — with the selected engine.
 //
 // Usage:
 //
@@ -49,7 +50,7 @@ func main() {
 		mode      = flag.String("mode", "rep", "engine: seq (detVio), rep (repVal), dis (disVal), gcfd, bigdansing")
 		workers   = flag.Int("n", 8, "workers for the parallel engines")
 		verbose   = flag.Bool("v", false, "print each violation")
-		stream    = flag.Bool("stream", false, "print violations as they are found instead of collecting a report (implies -v)")
+		stream    = flag.Bool("stream", false, "pull violations from the iterator pipeline as they are found instead of collecting a report (implies -v; prints time-to-first-violation)")
 		timeout   = flag.Duration("timeout", 0, "abort detection after this long (0 = no limit)")
 		doCheck   = flag.Bool("check-rules", true, "check rule-set satisfiability before validating")
 		doReduce  = flag.Bool("reduce", false, "drop implied rules before validating")
@@ -126,14 +127,35 @@ func main() {
 		partial     bool
 	)
 	if *stream {
-		count := 0
-		err := prep.Stream(ctx, opt, func(v gfd.Violation) bool {
+		// The pull-based pipeline: violations print the moment a worker
+		// finds them, and the engine's instrumentation (census, timings)
+		// is still available afterwards through ViolationsResult.
+		var (
+			res       gfd.Result
+			count     int
+			firstAt   time.Duration
+			streamErr error
+		)
+		start := time.Now()
+		for v, err := range prep.ViolationsResult(ctx, opt, &res) {
+			if err != nil {
+				streamErr = err
+				break
+			}
+			if count == 0 {
+				firstAt = time.Since(start)
+			}
 			count++
 			printViolation(v)
-			return true
-		})
-		if err != nil {
-			partial = reportDetectError(err, *timeout)
+		}
+		if count > 0 {
+			fmt.Printf("time to first violation: %v (full stream %v)\n", firstAt.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
+		}
+		if streamErr != nil {
+			partial = reportDetectError(streamErr, *timeout)
+			c := res.Completeness
+			fmt.Fprintf(os.Stderr, "gfdcheck: completeness: %d/%d units succeeded, %d retries, %d worker deaths, %d recovery rounds\n",
+				c.Succeeded, c.Units, c.Retries, c.WorkerDeaths, c.RecoveryRounds)
 		}
 		nViolations = count
 	} else {
@@ -171,7 +193,7 @@ func main() {
 	}
 }
 
-// reportDetectError classifies a Detect/Stream error. A partial result
+// reportDetectError classifies a Detect/Violations error. A partial result
 // (retry budgets exhausted under worker failures) is reported and returns
 // true — the violations that were found are still printed, and the final
 // exit status reflects the gap. Every other cause terminates: deadline

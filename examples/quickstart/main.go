@@ -2,11 +2,12 @@
 // the Canberra/Melbourne "two capitals" inconsistency from the paper's
 // introduction — through the intended lifecycle:
 //
-//	build graph -> NewSession -> Prepare -> Detect / Stream
+//	build graph -> NewSession -> Prepare -> Detect / Violations
 //
 // The session owns the compiled state (the frozen snapshot and the
-// lowered rules); Detect and Stream run any engine from it, and mutating
-// the graph re-prepares automatically on the next call.
+// lowered rules); Detect and the pull-based Violations iterator run any
+// engine from it, and mutating the graph re-prepares automatically on
+// the next call.
 package main
 
 import (
@@ -44,7 +45,7 @@ func main() {
 	g.MustAddEdge(fr, paris, "capital")
 
 	// Prepare once: the graph is frozen into its compiled snapshot and
-	// every rule is lowered onto it. All later Detect/Stream calls reuse
+	// every rule is lowered onto it. All later Detect/Violations calls reuse
 	// those artifacts.
 	ctx := context.Background()
 	sess, err := gfd.NewSession(g)
@@ -80,14 +81,18 @@ func main() {
 	fmt.Printf("parallel: %d violations across %d work units in %v\n",
 		len(par.Violations), par.Units, par.Wall.Round(0))
 
-	// Stream delivers violations as they are found — no report is
-	// materialized, and returning false stops detection early.
-	first := true
-	_ = prep.Stream(ctx, gfd.Options{Engine: gfd.EngineSequential}, func(v gfd.Violation) bool {
+	// Violations pulls violations lazily as the engine finds them — no
+	// report is materialized, and breaking out of the range stops
+	// detection immediately, all the way down inside candidate
+	// enumeration. The iterator yields a non-nil error at most once, as
+	// its final element.
+	for v, err := range prep.Violations(ctx, gfd.Options{Engine: gfd.EngineSequential}) {
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("streamed first violation: %s\n", v.Rule)
-		first = false
-		return first // stop after one
-	})
+		break // stop after one — no goroutines leak, no workers wedge
+	}
 
 	// Mutating the graph invalidates the prepared state; the next Detect
 	// re-freezes and re-lowers automatically. Fixing Melbourne's capital

@@ -10,13 +10,16 @@
 // # The prepared-session lifecycle
 //
 // Detection follows the prepared-statement idiom: build a graph, open a
-// Session on it, Prepare a rule set once, then Detect or Stream any
-// number of times:
+// Session on it, Prepare a rule set once, then Detect — or pull
+// violations lazily from Violations — any number of times:
 //
 //	sess, err := gfd.NewSession(g)
 //	prep, err := sess.Prepare(set)
 //	res, err := prep.Detect(ctx, gfd.Options{Engine: gfd.EngineReplicated, N: 16})
-//	err = prep.Stream(ctx, gfd.Options{}, func(v gfd.Violation) bool { ... ; return true })
+//	for v, err := range prep.Violations(ctx, gfd.Options{}) {
+//		if err != nil { ... }
+//		... // break stops detection mid-enumeration, promptly and leak-free
+//	}
 //
 // Prepare freezes the graph into its compiled CSR Snapshot and lowers
 // every rule (pattern labels and X → Y literals) onto the frozen symbol
@@ -31,8 +34,15 @@
 // incremental detector) skip even that: they fold into a maintained
 // delta Overlay the next Detect runs against, with a full re-freeze
 // only when the accumulated delta outgrows the base (compaction).
-// Stream delivers violations as they are found instead of materializing
-// the report, and every engine honors context cancellation.
+// Violations runs the same engines as one fused, pull-based pipeline —
+// match enumeration → compiled literal check → emission, with per-worker
+// bounded lanes (Options.StreamBuffer) applying backpressure instead of
+// a global emission lock — so the first violation surfaces long before
+// the run finishes and memory stays bounded by the buffer, not the match
+// set. Breaking out of the range (or cancelling ctx) stops candidate
+// enumeration mid-class. Detect and the callback Stream are thin
+// wrappers over the same pipeline, and every engine honors context
+// cancellation.
 //
 // The package also provides:
 //
@@ -150,8 +160,9 @@ type (
 	// Session owns a graph and its compiled execution caches; open one
 	// with NewSession, then Prepare rule sets against it.
 	Session = session.Session
-	// Prepared is a rule set compiled against a session's graph: Detect
-	// and Stream run any engine from the prepared artifacts.
+	// Prepared is a rule set compiled against a session's graph: Detect,
+	// the pull-based Violations iterator, and the callback Stream run any
+	// engine from the prepared artifacts.
 	Prepared = session.Prepared
 
 	// Fragmentation is an n-way partition of a graph across workers.
@@ -207,7 +218,7 @@ func FaultPlanFromSeed(seed int64, workers, units int) *FaultPlan {
 }
 
 // NewSession opens a prepared session on g — the entry point of the
-// build → NewSession → Prepare → Detect/Stream lifecycle. The graph
+// build → NewSession → Prepare → Detect/Violations lifecycle. The graph
 // stays owned by the caller; the session pays freeze and rule-lowering
 // costs once per graph version and rule set. A nil graph returns
 // ErrNilGraph (a typed error, not a panic — servers can reject the bad
@@ -324,8 +335,8 @@ func ValidateCtx(ctx context.Context, g *Graph, s *Set) (Report, error) {
 // Satisfies reports G |= Σ: no rule has a violation. It stops at the
 // first violation found.
 //
-// Deprecated: see Validate; with a session, Stream with a yield that
-// returns false is the early-stopping equivalent.
+// Deprecated: see Validate; with a session, breaking out of Violations
+// at the first yielded violation is the early-stopping equivalent.
 func Satisfies(g *Graph, s *Set) bool {
 	violated := false
 	_ = oneShot(g, s).Stream(context.Background(), Options{Engine: EngineSequential},

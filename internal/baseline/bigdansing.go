@@ -57,31 +57,28 @@ type binding []graph.NodeID
 // coincide with the GFD engine's; only the evaluation strategy (and its
 // intermediate sizes) differs.
 func DetectJoins(g *graph.Graph, rel *Relational, set *core.Set, n int) validate.Report {
-	var out validate.Report
-	var mu sync.Mutex
-	_ = DetectJoinsB(context.Background(), validate.NewBundle(g, set), rel, n, func(v validate.Violation) bool {
-		mu.Lock()
-		out = append(out, v)
-		mu.Unlock()
-		return true
-	})
+	if n < 1 {
+		n = 1
+	}
+	sink := validate.NewCollectSink(n)
+	_ = DetectJoinsB(context.Background(), validate.NewBundle(g, set), rel, n, sink)
+	out := sink.Report()
 	out.Sort()
 	return out
 }
 
 // DetectJoinsB is DetectJoins over a prepared bundle with cooperative
-// cancellation and streaming delivery: emit receives violations as the
-// join pipelines find them (concurrently — emissions are not serialized
-// here; wrap emit when ordering matters), returning false stops every
-// worker, and a cancelled context aborts with its error. The session
-// layer runs EngineBigDansing through it.
+// cancellation and streaming delivery: the sink receives violations as
+// the join pipelines find them, each worker emitting on its own lane, a
+// sink refusal stops every worker, and a cancelled context aborts with
+// its error. The session layer runs EngineBigDansing through it.
 //
 // A panicking join worker is recovered into a *cluster.WorkerError while
 // the surviving workers drain their chunks; the run then continues into
 // the remaining rules and returns a *validate.PartialError (errors.Is
 // validate.ErrPartial, Unit -1 — the join pipeline has no retryable unit
 // granularity) listing every death.
-func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n int, emit func(validate.Violation) bool) error {
+func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n int, sink validate.Sink) error {
 	if n < 1 {
 		n = 1
 	}
@@ -95,7 +92,7 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cont, errs := detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, emit)
+		cont, errs := detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, sink)
 		for _, werr := range errs {
 			failures = append(failures, validate.UnitFailure{Unit: -1, Group: -1, Attempts: 1, Err: werr})
 		}
@@ -112,10 +109,10 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 	return nil
 }
 
-// detectOneJoin runs one rule's join pipeline; it returns false when emit
-// stopped the detection, plus one *cluster.WorkerError per worker that
-// died (recovered panics — the surviving workers drained regardless).
-func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, emit func(validate.Violation) bool) (bool, []error) {
+// detectOneJoin runs one rule's join pipeline; it returns false when the
+// sink stopped the detection, plus one *cluster.WorkerError per worker
+// that died (recovered panics — the surviving workers drained regardless).
+func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, sink validate.Sink) (bool, []error) {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
@@ -144,7 +141,7 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 				if stop.Load() {
 					return false
 				}
-				if !emit(v) {
+				if !sink.Emit(w, v) {
 					stop.Store(true)
 					return false
 				}

@@ -151,25 +151,23 @@ func isSimplePath(q *pattern.Pattern) bool {
 // the GFD engine does. Violations are reported in the same format so
 // accuracy is directly comparable.
 func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
-	var out validate.Report
-	_ = DetectB(context.Background(), validate.NewBundle(g, core.MustNewSet()), rules, func(v validate.Violation) bool {
-		out = append(out, v)
-		return true
-	})
+	sink := validate.NewCollectSink(1)
+	_ = DetectB(context.Background(), validate.NewBundle(g, core.MustNewSet()), rules, sink)
+	out := sink.Report()
 	out.Sort()
 	return out
 }
 
 // DetectB is Detect over a prepared bundle with cooperative cancellation
-// and streaming delivery: violations go to emit as they are found
-// (unsorted), enumeration stops when emit returns false, and a cancelled
-// context aborts with its error (checked between rules and, strided,
-// between matches). The session layer runs EngineGCFD through it so a
-// prepared rule conversion is validated without re-freezing or
-// re-encoding anything. A panic during enumeration or the literal check is
-// recovered into the returned error (a *cluster.WorkerError) rather than
-// tearing down the caller.
-func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(validate.Violation) bool) (err error) {
+// and streaming delivery: violations go to the sink as they are found
+// (unsorted), enumeration stops when the sink refuses one, and a
+// cancelled context aborts with its error (checked between rules and,
+// strided, inside candidate enumeration). The session layer runs
+// EngineGCFD through it so a prepared rule conversion is validated
+// without re-freezing or re-encoding anything. A panic during enumeration
+// or the literal check is recovered into the returned error (a
+// *cluster.WorkerError) rather than tearing down the caller.
+func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, sink validate.Sink) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = cluster.Recovered(cluster.Coordinator, -1, r)
@@ -179,25 +177,31 @@ func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, emit func(v
 	m := match.NewMatcher(snap)
 	aborted := false
 	checked := 0
+	opts := match.Options{Halt: func() bool {
+		if ctx.Err() != nil {
+			aborted = true
+			return true
+		}
+		return false
+	}}
 	for _, c := range rules {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		p := b.Program(c.compiled())
 		stopped := false
-		m.Enumerate(c.Path, match.Options{}, func(h core.Match) bool {
+		for h := range m.Matches(c.Path, opts) {
 			if checked++; checked%64 == 0 && ctx.Err() != nil {
 				aborted = true
-				return false
+				break
 			}
 			if p.IsViolation(snap, h) {
-				if !emit(validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)}) {
+				if !sink.Emit(0, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)}) {
 					stopped = true
-					return false
+					break
 				}
 			}
-			return true
-		})
+		}
 		if aborted {
 			return ctx.Err()
 		}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"gfd/internal/validate"
+)
+
+// Stream measures the payoff of the pull-based Violations iterator:
+// time-to-first-K against the full collect-everything Detect wall on the
+// same prepared workload (replicated engine, n = 8). The fused pipeline
+// exists so a consumer that needs one violation does not pay for the whole
+// run — first_1's frac_of_full cell is that claim as a number (the
+// acceptance bar is ≤ 0.2: first violation at least 5× below the full
+// wall), and the benchmark gate watches it alongside the absolute times
+// and allocation footprints. Every cell is lower-better, so a fresh/base
+// ratio above 1 always means a regression.
+//
+// Each metric is the best of `rounds` measurements: early-termination
+// latency is scheduler-sensitive (the first violation races the worker
+// pool spin-up), and a real regression survives a minimum by definition.
+func Stream(c Config, rounds int) Table {
+	c = c.Defaults()
+	if rounds <= 0 {
+		rounds = 5
+	}
+	// The workload is reshaped from the flag config (as Fig 6 scales and
+	// Fig 9 re-noises theirs): first-K latency is only meaningful against
+	// a full run long enough that scheduler startup is not the measurement.
+	// Scale grows 6×, the rule budget is floored at 16 (more units → more
+	// total work), patterns shrink to 3 nodes (cheap per-candidate
+	// enumeration, so the first violating candidate is reached early), and
+	// noise is dialed up to 40% — at the default 2% the bench graph can be
+	// outright clean, and a run with zero violations has no first-K
+	// latency to measure.
+	c.Scale *= 6
+	if c.Rules < 16 {
+		c.Rules = 16
+	}
+	c.PatternSize = 3
+	if c.NoiseRate < 0.4 {
+		c.NoiseRate = 0.4
+	}
+	w := Prepare(c)
+	opt := validate.Options{Engine: validate.EngineReplicated, N: 8, Seed: c.Seed}
+	ctx := context.Background()
+	prep := w.Prepared()
+
+	// Untimed warm-up absorbs lazily cached variant state and pins the
+	// violation count so first-K is well-defined.
+	warm, err := prep.Detect(ctx, opt)
+	if err != nil {
+		panic(err)
+	}
+	total := len(warm.Violations)
+	if total == 0 {
+		panic("stream experiment workload produced no violations; time-to-first-K is undefined")
+	}
+	k16 := min(16, total)
+
+	// measure wraps one run with a wall clock and a TotalAlloc delta —
+	// cumulative bytes allocated, immune to GC timing, so the iterator
+	// path's footprint (lanes, forwarders, no materialized report) is
+	// comparable across commits.
+	var ms runtime.MemStats
+	measure := func(run func()) (wallMS, allocKB float64) {
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		start := time.Now()
+		run()
+		wallMS = time.Since(start).Seconds() * 1000
+		runtime.ReadMemStats(&ms)
+		return wallMS, float64(ms.TotalAlloc-before) / 1024
+	}
+	best := func(f func() (float64, float64)) (wallMS, allocKB float64) {
+		wallMS, allocKB = math.Inf(1), math.Inf(1)
+		for i := 0; i < rounds; i++ {
+			m, kb := f()
+			wallMS = math.Min(wallMS, m)
+			allocKB = math.Min(allocKB, kb)
+		}
+		return wallMS, allocKB
+	}
+
+	fullMS, fullKB := best(func() (float64, float64) {
+		return measure(func() {
+			if _, err := prep.Detect(ctx, opt); err != nil {
+				panic(err)
+			}
+		})
+	})
+	pull := func(k int) (float64, float64) {
+		return best(func() (float64, float64) {
+			return measure(func() {
+				seen := 0
+				for _, err := range prep.Violations(ctx, opt) {
+					if err != nil {
+						panic(err)
+					}
+					if seen++; seen >= k {
+						break
+					}
+				}
+			})
+		})
+	}
+	first1MS, first1KB := pull(1)
+	firstKMS, firstKKB := pull(k16)
+
+	return Table{
+		Title: fmt.Sprintf("Stream — time-to-first-K via Violations vs full Detect (%s, rep n=8, %d violations)",
+			c.Dataset, total),
+		XLabel: "consumer",
+		Series: []string{"ms", "alloc_kb", "frac_of_full"},
+		Rows: []Row{
+			{X: "full_detect", Cells: map[string]float64{"ms": fullMS, "alloc_kb": fullKB}},
+			{X: "first_1", Cells: map[string]float64{
+				"ms": first1MS, "alloc_kb": first1KB, "frac_of_full": first1MS / fullMS}},
+			{X: fmt.Sprintf("first_%d", k16), Cells: map[string]float64{
+				"ms": firstKMS, "alloc_kb": firstKKB}},
+		},
+	}
+}

@@ -51,6 +51,15 @@ type Options struct {
 	StripeNode int
 	StripeMod  int
 	StripeRem  int
+	// Halt is consulted at strided checkpoints inside candidate
+	// enumeration; returning true abandons the search immediately, even
+	// mid-class on a stretch that produces no matches (where a
+	// yield-driven stop would never fire). The engines pass their
+	// per-worker cancellation probe so early termination — a consumer
+	// done pulling violations, a cancelled context, an expired unit
+	// deadline — propagates into the backtracking itself. nil disables
+	// the probe at zero cost.
+	Halt func() bool
 }
 
 // Enumerate calls yield for every match of q in g under opts, in a
@@ -172,6 +181,10 @@ func (s *searcher) planOrder() []int {
 
 func (s *searcher) extend(depth int) {
 	if s.halt {
+		return
+	}
+	if s.opts.Halt != nil && s.opts.Halt() {
+		s.halt = true
 		return
 	}
 	if depth == len(s.order) {

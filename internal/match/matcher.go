@@ -1,6 +1,8 @@
 package match
 
 import (
+	"iter"
+
 	"gfd/internal/core"
 	"gfd/internal/graph"
 	"gfd/internal/pattern"
@@ -48,7 +50,19 @@ type Matcher struct {
 	n     int
 	found int
 	halt  bool
+	// tick strides the Options.Halt probe: the probe is a function call
+	// through a pointer, too expensive per candidate in the hottest loop,
+	// so it fires every haltStride tries — bounding the delay between an
+	// external stop and the search abandoning, without measurably taxing
+	// the zero-alloc steady state.
+	tick uint32
 }
+
+// haltStride is how many candidate tries pass between Options.Halt
+// consultations. Combined with the engines' own strided ctx probe this
+// bounds stop latency to a few thousand candidate tries — microseconds —
+// while keeping the per-try cost to a counter increment.
+const haltStride = 64
 
 // NewMatcher returns a matcher over t.
 func NewMatcher(t graph.Topology) *Matcher {
@@ -96,6 +110,19 @@ func (m *Matcher) Enumerate(q *pattern.Pattern, opts Options, yield func(core.Ma
 		m.extend(0)
 	}
 	m.yield = nil
+}
+
+// Matches returns the matches of q under opts as a lazy pull-based
+// iterator: enumeration only advances as the consumer pulls, and breaking
+// out of the range stops the backtracking search at the current node —
+// the iterator form of Enumerate's early-stop contract. The yielded Match
+// is the matcher's reusable assignment buffer; consumers that retain a
+// match must copy it. Like every Matcher method, a returned iterator must
+// not be ranged concurrently with other uses of the same Matcher.
+func (m *Matcher) Matches(q *pattern.Pattern, opts Options) iter.Seq[core.Match] {
+	return func(yield func(core.Match) bool) {
+		m.Enumerate(q, opts, yield)
+	}
 }
 
 // Count returns the number of matches of q under opts.
@@ -300,6 +327,13 @@ func (m *Matcher) extend(depth int) {
 
 // try extends the partial assignment with u -> v if injective and feasible.
 func (m *Matcher) try(depth, u int, v graph.NodeID) {
+	if m.opts.Halt != nil {
+		m.tick++
+		if m.tick%haltStride == 0 && m.opts.Halt() {
+			m.halt = true
+			return
+		}
+	}
 	if m.used[v] {
 		return
 	}
@@ -446,6 +480,13 @@ func (m *Matcher) extendSnap(depth int) {
 }
 
 func (m *Matcher) trySnap(depth, u int, v graph.NodeID) {
+	if m.opts.Halt != nil {
+		m.tick++
+		if m.tick%haltStride == 0 && m.opts.Halt() {
+			m.halt = true
+			return
+		}
+	}
 	if m.used[v] {
 		return
 	}

@@ -36,6 +36,7 @@ package session
 import (
 	"context"
 	"errors"
+	"iter"
 	"sync"
 	"time"
 
@@ -246,74 +247,168 @@ func (p *Prepared) refresh() *validate.Bundle {
 // EngineReplicated) and returns its result with the violation set
 // collected and canonically sorted. Cancellation is honored by every
 // engine: on context expiry the partial result is returned along with the
-// context's error.
+// context's error. It is the collect-mode wrapper over the same fused
+// pipeline Violations exposes — a nil sink makes every engine gather into
+// per-worker shards and sort once at the end.
 func (p *Prepared) Detect(ctx context.Context, opt validate.Options) (*validate.Result, error) {
 	return p.run(ctx, opt, nil)
 }
 
-// Stream is Detect without materializing the report: yield receives each
-// violation as it is found (across engines and workers; emissions are
-// serialized), and detection stops early when it returns false. The
-// result instrumentation is discarded; use Detect when it is needed.
+// Violations runs detection as a pull-based stream: the returned iterator
+// yields each violation as the engine finds it, in delivery order
+// (unsorted — sort order is a property of the collected report, not the
+// stream). The pipeline is fused end to end: match enumeration → compiled
+// literal check → emission, with per-worker bounded lanes
+// (Options.StreamBuffer) applying backpressure to producers instead of
+// serializing them behind a mutex.
+//
+// Breaking out of the range stops detection: the break cancels the run's
+// context, which reaches every worker's candidate enumeration at its next
+// strided checkpoint — mid-class, not at the next unit boundary — and the
+// workers, forwarders, and the engine goroutine all unwind before the
+// iterator returns; abandoning early never leaks goroutines or wedges a
+// worker on a full lane. A non-nil error is yielded at most once, as the
+// final element: the caller's context expiring, or a partial run
+// (errors.Is validate.ErrPartial) whose failed units may have withheld
+// violations. An early break discards any error the teardown itself
+// produced, exactly as a callback returning false always has.
+//
+// Violations observed before a break are exactly a prefix-closed subset
+// of the full run's set for the same options: retried units never
+// double-report (the scheduler's skip counts hold across asynchronous
+// emission), so ranging to completion yields Detect's violation set
+// element-for-element, just unsorted.
+func (p *Prepared) Violations(ctx context.Context, opt validate.Options) iter.Seq2[validate.Violation, error] {
+	return p.ViolationsResult(ctx, opt, nil)
+}
+
+// ViolationsResult is Violations with the run's instrumentation kept:
+// after the iterator finishes (ranged to completion or abandoned), out —
+// when non-nil — holds the engine's Result (timings, census, modeled
+// comm; Result.Violations stays empty, the stream carried them). On an
+// early break Result.Completeness reports how far detection actually got.
+func (p *Prepared) ViolationsResult(ctx context.Context, opt validate.Options, out *validate.Result) iter.Seq2[validate.Violation, error] {
+	return func(yield func(validate.Violation, error) bool) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		nopt := opt.Normalized()
+		lanes := nopt.N
+		if nopt.Engine.Resolve() == validate.EngineFragmented {
+			// The fragmented engine clamps its worker count to the
+			// fragmentation's; size the lanes off the same number.
+			frag := nopt.Frag
+			if frag == nil {
+				frag = p.sess.Fragmentation(nopt.N)
+			}
+			lanes = frag.N
+		}
+		pipe := validate.NewPipeSink(runCtx, lanes, nopt.StreamBuffer)
+		type outcome struct {
+			res *validate.Result
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := p.run(runCtx, opt, pipe)
+			pipe.Close()
+			done <- outcome{res, err}
+		}()
+		// Drain the merged stream to completion even after the consumer
+		// breaks: the engine goroutine must finish (it owns the Result) and
+		// yield must never be called again once it returned false.
+		stopped := false
+		for v := range pipe.Out() {
+			if stopped {
+				continue
+			}
+			if !yield(v, nil) {
+				stopped = true
+				cancel()
+			}
+		}
+		o := <-done
+		if out != nil && o.res != nil {
+			*out = *o.res
+		}
+		if o.err != nil && !stopped {
+			yield(validate.Violation{}, o.err)
+		}
+	}
+}
+
+// Stream is the callback form of Violations: yield receives each
+// violation as it is found and detection stops early when it returns
+// false. It is a thin wrapper over the same pull-based pipeline. The
+// result instrumentation is discarded; use Detect or ViolationsResult
+// when it is needed.
+//
+// Deprecated: range over Violations instead — same pipeline, same
+// early-stop semantics, without inverting control.
 func (p *Prepared) Stream(ctx context.Context, opt validate.Options, yield func(validate.Violation) bool) error {
 	if yield == nil {
 		return errors.New("session: nil stream yield")
 	}
-	_, err := p.run(ctx, opt, yield)
-	return err
+	for v, err := range p.Violations(ctx, opt) {
+		if err != nil {
+			return err
+		}
+		if !yield(v) {
+			return nil
+		}
+	}
+	return nil
 }
 
-func (p *Prepared) run(ctx context.Context, opt validate.Options, yield func(validate.Violation) bool) (*validate.Result, error) {
+func (p *Prepared) run(ctx context.Context, opt validate.Options, sink validate.Sink) (*validate.Result, error) {
 	b := p.refresh()
 	switch opt.Engine.Resolve() {
 	case validate.EngineSequential:
-		return timed(p.set.Len(), yield, func(emit func(validate.Violation) bool) error {
-			return validate.DetVioB(ctx, b, emit)
+		return single(p.set.Len(), 1, sink, func(s validate.Sink) error {
+			return validate.DetVioB(ctx, b, s)
 		})
 	case validate.EngineReplicated:
-		return validate.RepValB(ctx, b, opt, yield)
+		return validate.RepValB(ctx, b, opt, sink)
 	case validate.EngineFragmented:
 		frag := opt.Frag
 		if frag == nil {
 			frag = p.sess.Fragmentation(opt.Normalized().N)
 		}
-		return validate.DisValB(ctx, b, frag, opt, yield)
+		return validate.DisValB(ctx, b, frag, opt, sink)
 	case validate.EngineGCFD:
 		rules, _ := p.GCFDRules()
-		return timed(len(rules), yield, func(emit func(validate.Violation) bool) error {
-			return baseline.DetectB(ctx, b, rules, emit)
+		return single(len(rules), 1, sink, func(s validate.Sink) error {
+			return baseline.DetectB(ctx, b, rules, s)
 		})
 	case validate.EngineBigDansing:
 		rel := p.relational(b)
 		n := opt.Normalized().N
-		return timed(p.set.Len(), yield, func(emit func(validate.Violation) bool) error {
-			return baseline.DetectJoinsB(ctx, b, rel, n, emit)
+		return single(p.set.Len(), n, sink, func(s validate.Sink) error {
+			return baseline.DetectJoinsB(ctx, b, rel, n, s)
 		})
 	}
 	return nil, errors.New("session: unknown engine")
 }
 
-// timed wraps the single-sink engines (sequential and the baselines) in
-// the Result shape the parallel engines return: wall time, rule count,
-// and — when not streaming — the collected, sorted violation set. When
-// streaming, emissions from concurrent workers (BigDansing) are
-// serialized onto yield.
-func timed(rules int, yield func(validate.Violation) bool, run func(func(validate.Violation) bool) error) (*validate.Result, error) {
+// single wraps the engines that do not build their own Result (sequential
+// and the baselines) in the shape the parallel engines return: wall time,
+// rule count, and — when no external sink was supplied — the collected,
+// sorted violation set, gathered through a CollectSink with one lane per
+// engine worker. With an external sink the engines emit straight into it
+// over the very same code path; the three modes differ only in the sink.
+func single(rules, lanes int, sink validate.Sink, run func(validate.Sink) error) (*validate.Result, error) {
 	res := &validate.Result{Rules: rules}
-	var mu sync.Mutex
-	emit := func(v validate.Violation) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		if yield != nil {
-			return yield(v)
-		}
-		res.Violations = append(res.Violations, v)
-		return true
+	var collect *validate.CollectSink
+	if sink == nil {
+		collect = validate.NewCollectSink(lanes)
+		sink = collect
 	}
 	start := time.Now()
-	err := run(emit)
+	err := run(sink)
 	res.Wall = time.Since(start)
-	res.Violations.Sort()
+	if collect != nil {
+		res.Violations = collect.Report()
+		res.Violations.Sort()
+	}
 	return res, err
 }
 

@@ -58,13 +58,13 @@ func TestRepValCancelMidRunAbortsPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	emitted := 0
-	_, err = RepValB(ctx, b, Options{N: 4}, func(Violation) bool {
+	_, err = RepValB(ctx, b, Options{N: 4}, Callback(func(Violation) bool {
 		emitted++
 		if emitted == 3 {
 			cancel()
 		}
 		return true
-	})
+	}))
 	if err == nil {
 		t.Fatal("mid-run cancellation returned no error")
 	}
@@ -91,13 +91,13 @@ func TestDisValCancelMidRunAbortsPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	emitted := 0
-	_, err = DisValB(ctx, b, frag, Options{N: 4}, func(Violation) bool {
+	_, err = DisValB(ctx, b, frag, Options{N: 4}, Callback(func(Violation) bool {
 		emitted++
 		if emitted == 3 {
 			cancel()
 		}
 		return true
-	})
+	}))
 	if err == nil {
 		t.Fatal("mid-run cancellation returned no error")
 	}
@@ -138,10 +138,10 @@ func TestRepValDeadlineAborts(t *testing.T) {
 func TestSequentialStreamCancel(t *testing.T) {
 	_, b := cancelWorkload(t)
 	var all Report
-	if err := DetVioB(context.Background(), b, func(v Violation) bool {
+	if err := DetVioB(context.Background(), b, Callback(func(v Violation) bool {
 		all = append(all, v)
 		return true
-	}); err != nil {
+	})); err != nil {
 		t.Fatal(err)
 	}
 	if len(all) < 50 {
@@ -150,13 +150,13 @@ func TestSequentialStreamCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	emitted := 0
-	err := DetVioB(ctx, b, func(Violation) bool {
+	err := DetVioB(ctx, b, Callback(func(Violation) bool {
 		emitted++
 		if emitted == 3 {
 			cancel()
 		}
 		return true
-	})
+	}))
 	if err == nil {
 		t.Fatal("cancelled sequential run returned no error")
 	}

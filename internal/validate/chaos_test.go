@@ -114,10 +114,10 @@ func TestChaosStreamDedupe(t *testing.T) {
 	// match crossing late enough to land mid-enumeration of another.
 	plan := fault.NewPlan(17).KillWorker(1, 1).PanicAt(fault.Match, 200)
 	var got Report
-	_, err = RepValB(ctx, b, Options{N: 4, Inject: plan}, func(v Violation) bool {
+	_, err = RepValB(ctx, b, Options{N: 4, Inject: plan}, Callback(func(v Violation) bool {
 		got = append(got, v)
 		return true
-	})
+	}))
 	if err != nil {
 		t.Fatalf("%v: %v", plan, err)
 	}
@@ -248,10 +248,10 @@ func TestChaosNoGoroutineLeaks(t *testing.T) {
 		}
 		stopPlan := fault.NewPlan(seed).KillWorker(0, 0)
 		n := 0
-		_, err := RepValB(ctx, b, Options{N: 4, Inject: stopPlan}, func(Violation) bool {
+		_, err := RepValB(ctx, b, Options{N: 4, Inject: stopPlan}, Callback(func(Violation) bool {
 			n++
 			return false // stop at the first violation
-		})
+		}))
 		if err != nil {
 			t.Fatalf("%v: early-stopped run returned %v", stopPlan, err)
 		}

@@ -10,7 +10,6 @@ import (
 	"gfd/internal/graph"
 	"gfd/internal/match"
 	"gfd/internal/pattern"
-	"gfd/internal/workload"
 )
 
 // DisVal is the parallel error-detection algorithm for fragmented graphs
@@ -37,7 +36,7 @@ func DisVal(g *graph.Graph, frag *fragment.Fragmentation, set *core.Set, opt Opt
 // the fault-tolerant detection scheduler (runtime.go): a retried or
 // reassigned unit re-runs its prefetch / partial-match exchange on the new
 // worker, so recovery pays its shipping like the paper's model demands.
-func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt Options, emit func(Violation) bool) (res *Result, err error) {
+func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt Options, sink Sink) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		// A dead context must not pay for the estimation phase.
 		return &Result{}, err
@@ -61,41 +60,26 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	res.Groups = len(groups)
 	topo := b.topo
 
-	// ---- disPar: estimation with border/ownership accounting ---------
-	// Candidate reports, block-size measurement, unit assembly and the
-	// per-worker ship costs are memoized per (variant, fragmentation);
-	// warm rounds replay the comm charges and skip the work (estimate.go).
+	// ---- disPar: estimation with border/ownership accounting, plus the
+	// split and bi-criteria assignment — all memoized per (variant,
+	// fragmentation); warm rounds replay the plan and its comm charges
+	// and skip the work (estimate.go).
 	estStart := time.Now()
-	units, estSpan, err := b.estimateFrag(cl, groups, gk, opt, frag)
+	plan, estSpan, err := b.planFor(cl, groups, gk, opt, frag)
 	if err != nil {
 		return res, err
 	}
 	res.EstimateSpan = estSpan
-	theta := splitThreshold(opt, units)
-	var split int
-	units, split = applySplit(units, groups, theta)
-	res.SplitUnits = split
-	res.Units = len(units)
+	res.SplitUnits = plan.split
+	res.Units = len(plan.units)
+	res.TotalWeight = plan.totalWeight
+	res.Makespan = plan.makespan
 	res.EstimateWall = time.Since(estStart)
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-
-	// ---- disPar: bi-criteria assignment ------------------------------
-	weights := make([]int, len(units))
-	for i, u := range units {
-		weights[i] = u.Weight()
-		res.TotalWeight += int64(u.Weight())
-	}
-	var assign workload.Assignment
-	if opt.RandomAssign {
-		assign = workload.BalanceRandom(weights, opt.N, opt.Seed)
-	} else {
-		cc := func(unit, worker int) int64 { return units[unit].shipBytes[worker] }
-		assign = workload.BalanceBiCriteria(weights, opt.N, cc, commCostWeight)
-	}
-	res.Makespan = assign.Makespan(weights)
-	for w, idxs := range assign {
+	units := plan.units
+	for w, idxs := range plan.assign {
 		cl.Ship(cluster.Coordinator, w, int64(len(idxs))*unitDescriptorBytes)
 	}
 	cl.EndRound()
@@ -106,9 +90,10 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 	// retried after a deadline miss) re-ships its block to the worker that
 	// actually runs it — recovery is charged, not free.
 	detStart := time.Now()
-	var sink *streamSink
-	if emit != nil {
-		sink = &streamSink{yield: emit}
+	var collect *CollectSink
+	if sink == nil {
+		collect = NewCollectSink(opt.N)
+		sink = collect
 	}
 	prefetched := make([]int, opt.N)
 	partials := make([]int, opt.N)
@@ -138,20 +123,22 @@ func DisValB(ctx context.Context, b *Bundle, frag *fragment.Fragmentation, opt O
 		}
 	}
 	run := &detectRun{ctx: ctx, cl: cl, topo: topo, groups: groups, units: units, opt: opt, sink: sink, inj: inj, prep: prep}
-	span, comp, perr := run.run(assign)
+	span, comp, perr := run.run(plan.assign)
 	res.DetectWall = time.Since(detStart)
 	res.DetectSpan = span
 	res.Completeness = comp
 	cl.EndRound() // block/partial-match exchanges during detection
 
-	for w, out := range run.perWorker {
-		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
-		res.Violations = append(res.Violations, out...)
+	for w, cnt := range run.counts {
+		cl.Ship(w, cluster.Coordinator, cnt*violationBytes)
 		res.PrefetchUnits += prefetched[w]
 		res.PartialUnits += partials[w]
 	}
 	cl.EndRound()
-	res.Violations.Sort()
+	if collect != nil {
+		res.Violations = collect.Report()
+		res.Violations.Sort()
+	}
 
 	st := cl.Stats()
 	res.BytesShipped = st.TotalBytes

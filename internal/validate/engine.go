@@ -70,6 +70,12 @@ type Options struct {
 	// internal/fault). nil — the production state — makes every injection
 	// point a nil-check no-op.
 	Inject *fault.Plan
+
+	// StreamBuffer bounds the per-worker violation lanes of the pull-based
+	// pipeline (Prepared.Violations): each worker may run at most this many
+	// violations ahead of the consumer before blocking. 0 normalizes to
+	// DefaultStreamBuffer; the collect and callback sinks ignore it.
+	StreamBuffer int
 }
 
 // Retry configures the parallel engines' unit retry policy: a unit may be
@@ -90,6 +96,12 @@ const (
 	DefaultRetryBackoff = time.Millisecond
 	maxBackoffFactor    = 8
 )
+
+// DefaultStreamBuffer is the per-worker lane capacity of the pull-based
+// violation pipeline when Options.StreamBuffer is unset: deep enough to
+// absorb bursts, small enough that an abandoned iterator bounds buffered
+// work to a few KB per worker.
+const DefaultStreamBuffer = 64
 
 // Normalized fills unset fields with their defaults: the replicated
 // engine, 4 workers, histogram m = 16, the default cost model, the default
@@ -114,6 +126,9 @@ func (o Options) Normalized() Options {
 		o.Retry.Backoff = DefaultRetryBackoff
 	} else if o.Retry.Backoff < 0 {
 		o.Retry.Backoff = 0
+	}
+	if o.StreamBuffer <= 0 {
+		o.StreamBuffer = DefaultStreamBuffer
 	}
 	return o
 }
@@ -201,6 +216,7 @@ type unitDetector struct {
 	scratch core.Match
 	block   *graph.EpochSet // reusable data block, refilled per unit
 	cancel  *cancelCheck    // per-worker; consulted between matches
+	halt    func() bool     // cancel.canceled bound once; threaded into enumeration
 
 	// Fault-injection context: nil inj in production (crossings are
 	// nil-check no-ops); worker/unit identify the current execution for
@@ -216,6 +232,9 @@ func newUnitDetector(topo graph.Topology, cancel *cancelCheck, inj *fault.Inject
 		pin:    make(map[int]graph.NodeID, 2),
 		block:  graph.NewEpochSet(topo.NumNodes()),
 		cancel: cancel,
+		// Bind the method value once so the per-unit loop hands the matcher
+		// a halt probe without allocating a closure per unit.
+		halt:   cancel.canceled,
 		inj:    inj,
 		worker: worker,
 		unit:   -1,
@@ -264,6 +283,11 @@ func (d *unitDetector) detect(grp *ruleGroup, u workUnit, deduped bool, emit fun
 			StripeMod:  u.stripeMod,
 			StripeRem:  u.stripeRem,
 			StripeNode: stripeNode(grp, u),
+			// Early termination must reach candidate enumeration itself:
+			// without the halt probe a cancelled (or consumer-stopped) run
+			// only notices between matches, which on a matchless stretch of
+			// a huge class is never.
+			Halt: d.halt,
 		}
 		d.m.Enumerate(grp.q, opts, func(m core.Match) bool {
 			if d.inj != nil {

@@ -87,6 +87,32 @@ type fragEstEntry struct {
 	estShips  []shipRec
 }
 
+// planKey identifies one memoized detection plan: the estimation variant
+// plus every option field the split and the balanced assignment depend
+// on. seed is folded in only for randomized assignment — deterministic
+// plans are shared across seeds.
+type planKey struct {
+	ek        estKey
+	frag      *fragment.Fragmentation // nil for the replicated engine
+	threshold int
+	noOpt     bool
+	random    bool
+	seed      int64
+}
+
+// planEntry is one memoized post-split unit set with its balanced
+// assignment and the derived accounting the engines report. Units and
+// assignment are shared read-only across rounds: the detection runtime
+// copies the assignment's top-level slice and reads unit descriptors by
+// value, so no round mutates the plan.
+type planEntry struct {
+	units       []workUnit
+	split       int
+	totalWeight int64
+	makespan    int64
+	assign      workload.Assignment
+}
+
 // estState is the Bundle's estimation cache, guarded by Bundle.mu except
 // for the traversals themselves (workers measure without the lock and
 // merge results under it).
@@ -94,6 +120,7 @@ type estState struct {
 	sizes       map[sizeReq]sizeVal
 	entries     map[estKey]*estEntry
 	fragEntries map[fragEstKey]*fragEstEntry
+	plans       map[planKey]*planEntry
 
 	builds   int // full estimation passes (unit-set cache misses)
 	reuses   int // Detect rounds served without an estimation pass
@@ -187,7 +214,81 @@ func (b *Bundle) baseEstimate(cl *cluster.Cluster, groups []*ruleGroup, gk group
 const (
 	maxEstEntries     = 64
 	maxFragEstEntries = 16
+	maxPlanEntries    = 64
 )
+
+// planFor returns the post-split unit set and balanced assignment for the
+// options' variant, memoized per variant. The split copy, the weights
+// scan, and the LPT / bi-criteria balance are the per-call serial prefix
+// between (cached) estimation and the workers' first emission; replaying
+// them from the cache bounds the pull pipeline's time-to-first-violation
+// by scheduler startup rather than re-planning — latency scales with the
+// answer, not the unit count. Comm charges (estimation replay and, in the
+// callers, unit-descriptor shipments) still flow through cl on every
+// round, so the modeled figures are unchanged by caching.
+func (b *Bundle) planFor(cl *cluster.Cluster, groups []*ruleGroup, gk groupKey, opt Options, frag *fragment.Fragmentation) (*planEntry, time.Duration, error) {
+	var (
+		units []workUnit
+		span  time.Duration
+		err   error
+	)
+	if frag != nil {
+		units, span, err = b.estimateFrag(cl, groups, gk, opt, frag)
+	} else {
+		units, span, err = b.estimateFor(cl, groups, gk, opt)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	key := planKey{
+		ek:        estKey{gk: gk, n: opt.N, histogramM: opt.HistogramM},
+		frag:      frag,
+		threshold: opt.SplitThreshold,
+		noOpt:     opt.NoOptimize,
+		random:    opt.RandomAssign,
+	}
+	if opt.RandomAssign {
+		key.seed = opt.Seed
+	}
+	b.mu.Lock()
+	if p, ok := b.est.plans[key]; ok {
+		b.mu.Unlock()
+		return p, span, nil
+	}
+	b.mu.Unlock()
+
+	theta := splitThreshold(opt, units)
+	p := &planEntry{}
+	p.units, p.split = applySplit(units, groups, theta)
+	weights := make([]int, len(p.units))
+	for i, u := range p.units {
+		weights[i] = u.Weight()
+		p.totalWeight += int64(u.Weight())
+	}
+	switch {
+	case opt.RandomAssign:
+		p.assign = workload.BalanceRandom(weights, opt.N, opt.Seed)
+	case frag != nil:
+		cc := func(unit, worker int) int64 { return p.units[unit].shipBytes[worker] }
+		p.assign = workload.BalanceBiCriteria(weights, opt.N, cc, commCostWeight)
+	default:
+		p.assign = workload.BalanceLPT(weights, opt.N)
+	}
+	p.makespan = p.assign.Makespan(weights)
+
+	b.mu.Lock()
+	if prev, dup := b.est.plans[key]; dup {
+		// A concurrent cold round won the race; share its entry.
+		p = prev
+	} else if len(b.est.plans) < maxPlanEntries {
+		if b.est.plans == nil {
+			b.est.plans = make(map[planKey]*planEntry, 2)
+		}
+		b.est.plans[key] = p
+	}
+	b.mu.Unlock()
+	return p, span, nil
+}
 
 // estimateFrag is the fragmented-engine estimation: disPar's candidate
 // reports, the shared base estimation, and per-worker ship costs attached

@@ -3,7 +3,6 @@ package validate
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"gfd/internal/core"
@@ -303,31 +302,6 @@ func (b *Bundle) ruleGroupsKeyed(opt Options) (*core.Set, []*ruleGroup, groupKey
 // later timed Detect with the same options pays nothing beyond
 // estimation and enumeration. Variants not warmed cache on first use.
 func (b *Bundle) Warm(opt Options) { b.ruleGroups(opt) }
-
-// streamSink serializes violation emissions from concurrent workers onto
-// one user callback. Once the callback returns false every worker's next
-// emit fails, stopping the engines.
-type streamSink struct {
-	mu      sync.Mutex
-	yield   func(Violation) bool
-	stopped atomic.Bool
-}
-
-func (s *streamSink) emit(v Violation) bool {
-	if s.stopped.Load() {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped.Load() {
-		return false
-	}
-	if !s.yield(v) {
-		s.stopped.Store(true)
-		return false
-	}
-	return true
-}
 
 // cancelStride is how many per-match checkpoints pass between actual
 // ctx.Err() consultations: Err takes the context's mutex, which the

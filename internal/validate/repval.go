@@ -7,7 +7,6 @@ import (
 	"gfd/internal/cluster"
 	"gfd/internal/core"
 	"gfd/internal/graph"
-	"gfd/internal/workload"
 )
 
 // RepVal is the parallel scalable error-detection algorithm for replicated
@@ -28,18 +27,19 @@ func RepVal(g *graph.Graph, set *core.Set, opt Options) *Result {
 }
 
 // RepValB is repVal over a prepared bundle with cooperative cancellation:
-// workers check the context between work units and (strided) between
-// matches, so a cancelled run aborts promptly and returns the context's
-// error with partial instrumentation. When emit is non-nil, violations
-// stream to it as they are found (serialized across workers, stopping the
-// engine when it returns false) and Result.Violations stays empty;
-// otherwise they are collected per worker, unioned and sorted.
+// workers check the context between work units and (strided) inside match
+// enumeration, so a cancelled run aborts promptly and returns the
+// context's error with partial instrumentation. When sink is non-nil,
+// violations are delivered to it as they are found (each worker emitting
+// on its own lane, stopping the engine when the sink refuses) and
+// Result.Violations stays empty; a nil sink collects per worker, unions
+// and sorts into Result.Violations.
 //
 // Detection runs under the fault-tolerant scheduler (runtime.go): worker
 // panics are isolated, failed units are retried under Options.Retry, and
 // when budgets exhaust the error is a *PartialError (errors.Is ErrPartial)
 // with Result.Completeness carrying the census.
-func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) bool) (res *Result, err error) {
+func RepValB(ctx context.Context, b *Bundle, opt Options, sink Sink) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		// A dead context must not pay for the estimation phase.
 		return &Result{}, err
@@ -57,39 +57,25 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	res.Groups = len(groups)
 	topo := b.topo
 
-	// ---- bPar: parallel workload estimation (cached per variant; warm
-	// rounds replay the memoized unit set, span and comm charges) -------
+	// ---- bPar: estimation + split + balanced n-partition, all memoized
+	// per variant (estimate.go); warm rounds replay the plan and its comm
+	// charges without re-touching the unit set ------------------------
 	estStart := time.Now()
-	units, estSpan, err := b.estimateFor(cl, groups, gk, opt)
+	plan, estSpan, err := b.planFor(cl, groups, gk, opt, nil)
 	if err != nil {
 		return res, err
 	}
 	res.EstimateSpan = estSpan
-	theta := splitThreshold(opt, units)
-	var split int
-	units, split = applySplit(units, groups, theta)
-	res.SplitUnits = split
-	res.Units = len(units)
+	res.SplitUnits = plan.split
+	res.Units = len(plan.units)
+	res.TotalWeight = plan.totalWeight
+	res.Makespan = plan.makespan
 	res.EstimateWall = time.Since(estStart)
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-
-	// ---- bPar: balanced n-partition ----------------------------------
-	weights := make([]int, len(units))
-	for i, u := range units {
-		weights[i] = u.Weight()
-		res.TotalWeight += int64(u.Weight())
-	}
-	var assign workload.Assignment
-	if opt.RandomAssign {
-		assign = workload.BalanceRandom(weights, opt.N, opt.Seed)
-	} else {
-		assign = workload.BalanceLPT(weights, opt.N)
-	}
-	res.Makespan = assign.Makespan(weights)
 	// Shipping W_i(Σ, G) to each worker: one compact descriptor per unit.
-	for w, idxs := range assign {
+	for w, idxs := range plan.assign {
 		cl.Ship(cluster.Coordinator, w, int64(len(idxs))*unitDescriptorBytes)
 	}
 	cl.EndRound()
@@ -97,23 +83,28 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 	// ---- localVio: parallel local detection under the fault-tolerant
 	// scheduler (runtime.go) -------------------------------------------
 	detStart := time.Now()
-	var sink *streamSink
-	if emit != nil {
-		sink = &streamSink{yield: emit}
+	var collect *CollectSink
+	if sink == nil {
+		collect = NewCollectSink(opt.N)
+		sink = collect
 	}
-	run := &detectRun{ctx: ctx, cl: cl, topo: topo, groups: groups, units: units, opt: opt, sink: sink, inj: inj}
-	span, comp, perr := run.run(assign)
+	run := &detectRun{ctx: ctx, cl: cl, topo: topo, groups: groups, units: plan.units, opt: opt, sink: sink, inj: inj}
+	span, comp, perr := run.run(plan.assign)
 	res.DetectWall = time.Since(detStart)
 	res.DetectSpan = span
 	res.Completeness = comp
 
 	// ---- union at the coordinator -------------------------------------
-	for w, out := range run.perWorker {
-		cl.Ship(w, cluster.Coordinator, int64(len(out))*violationBytes)
-		res.Violations = append(res.Violations, out...)
+	// Violations return to the coordinator whichever sink consumed them;
+	// the shipment is charged off the per-worker delivery counts.
+	for w, cnt := range run.counts {
+		cl.Ship(w, cluster.Coordinator, cnt*violationBytes)
 	}
 	cl.EndRound()
-	res.Violations.Sort()
+	if collect != nil {
+		res.Violations = collect.Report()
+		res.Violations.Sort()
+	}
 
 	st := cl.Stats()
 	res.BytesShipped = st.TotalBytes
@@ -127,19 +118,6 @@ func RepValB(ctx context.Context, b *Bundle, opt Options, emit func(Violation) b
 		return res, perr
 	}
 	return res, nil
-}
-
-// workerEmit selects one worker's violation consumer: the shared
-// streaming sink when the caller streams, else an append onto the
-// worker's private report slice.
-func workerEmit(sink *streamSink, out *Report) func(Violation) bool {
-	if sink != nil {
-		return sink.emit
-	}
-	return func(v Violation) bool {
-		*out = append(*out, v)
-		return true
-	}
 }
 
 const (

@@ -109,19 +109,23 @@ type detectRun struct {
 	groups []*ruleGroup
 	units  []workUnit
 	opt    Options // normalized
-	sink   *streamSink
+	sink   Sink    // always non-nil: collect, callback, or pipe
 	inj    *fault.Injector
 	// prep runs at the start of every attempt on the executing worker —
 	// disVal charges the unit's block shipment (prefetch or partial-match)
 	// here, so a reassigned or retried unit re-ships to its new worker.
 	prep func(w, ui int)
 
-	mu        sync.Mutex // guards live/deaths/stopped and dead-worker state writes
-	states    []unitState
-	live      []bool
-	perWorker []Report
-	deaths    int
-	stopped   bool // a streaming yield returned false
+	mu     sync.Mutex // guards live/deaths/stopped and dead-worker state writes
+	states []unitState
+	live   []bool
+	// counts[w] is the number of violations worker w delivered through the
+	// sink — the engines charge the violation-return shipment off it.
+	// Worker w is the only writer of counts[w] (ownership moves only
+	// between rounds), so no lock is needed.
+	counts  []int64
+	deaths  int
+	stopped bool // the sink refused a violation; the whole run stops
 }
 
 // run executes the detection phase from the given initial assignment and
@@ -135,7 +139,7 @@ func (r *detectRun) run(assign workload.Assignment) (time.Duration, Completeness
 	for i := range r.live {
 		r.live[i] = true
 	}
-	r.perWorker = make([]Report, n)
+	r.counts = make([]int64, n)
 
 	maxAttempts := 1 + r.opt.Retry.Max
 	todo := make([][]int, n)
@@ -221,20 +225,24 @@ func (r *detectRun) worker(w int, mine []int) {
 		r.mu.Unlock()
 	}()
 
-	base := workerEmit(r.sink, &r.perWorker[w])
 	var skip, found int
 	out := func(v Violation) bool {
 		// Exactly-once across retries: per-unit enumeration is
 		// deterministic, so the first `skip` violations of a retried unit
-		// were already delivered by an earlier attempt.
+		// were already delivered by an earlier attempt. The skip-count
+		// wrapper sits above the sink, so it holds for asynchronous
+		// emission too — a violation counts as delivered the moment the
+		// sink accepts it, whether that was an append, a callback, or a
+		// buffered lane the consumer has not drained yet.
 		found++
 		if found <= skip {
 			return true
 		}
-		if !base(v) {
+		if !r.sink.Emit(w, v) {
 			return false
 		}
 		delivered++
+		r.counts[w]++
 		return true
 	}
 

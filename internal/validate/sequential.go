@@ -15,37 +15,43 @@ import (
 var ErrTimeout = errors.New("validate: sequential detection timed out")
 
 // DetVioB is the sequential error-detection algorithm of Section 5.1 over
-// a prepared bundle: for every rule it enumerates all matches of the
-// pattern in the bundle's topology and delivers those violating X → Y to
-// emit in discovery order, without materializing a report. Enumeration
-// stops when emit returns false (no error) or the context is cancelled
-// (the context's error is returned). It is the correctness reference for
-// the parallel engines, and exponential in the worst case.
+// a prepared bundle: for every rule it pulls matches of the pattern from
+// the matcher's lazy iterator, checks the compiled X → Y program on each,
+// and delivers violations to the sink in discovery order, without
+// materializing a report — match enumeration, literal checking and
+// emission are one fused stream. Enumeration stops when the sink refuses
+// a violation (no error) or the context is cancelled (the context's error
+// is returned); both propagate into candidate enumeration through the
+// matcher's halt probe, so a stop lands mid-class even on matchless
+// stretches. A nil sink collects nothing (useful only for its side-effect
+// timing) — callers wanting a report use DetVioCtx or a CollectSink. It
+// is the correctness reference for the parallel engines, and exponential
+// in the worst case.
 //
 // A panic during enumeration or literal evaluation is recovered into the
 // returned error (a *cluster.WorkerError) — there is only one execution
 // stream here, so there is nothing to retry, but the caller's process
 // survives.
-func DetVioB(ctx context.Context, b *Bundle, emit func(Violation) bool) (err error) {
+func DetVioB(ctx context.Context, b *Bundle, sink Sink) (err error) {
 	defer engineRecover(&err)
 	topo := b.topo
 	m := match.NewMatcher(topo)
 	cancel := &cancelCheck{ctx: ctx}
+	opts := match.Options{Halt: cancel.canceled}
 	for _, f := range b.set.Rules() {
 		p := b.Program(f)
 		stopped := false
-		m.Enumerate(f.Q, match.Options{}, func(h core.Match) bool {
+		for h := range m.Matches(f.Q, opts) {
 			if cancel.canceled() {
-				return false
+				break
 			}
 			if p.IsViolation(topo, h) {
-				if !emit(Violation{Rule: f.Name, Match: append(core.Match(nil), h...)}) {
+				if sink != nil && !sink.Emit(0, Violation{Rule: f.Name, Match: append(core.Match(nil), h...)}) {
 					stopped = true
-					return false
+					break
 				}
 			}
-			return true
-		})
+		}
 		if cancel.hit {
 			return ctx.Err()
 		}
@@ -70,11 +76,9 @@ func DetVio(g *graph.Graph, set *core.Set) Report {
 // matches. On expiry it returns the violations found so far plus
 // ErrTimeout.
 func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, error) {
-	var out Report
-	err := DetVioB(ctx, NewBundle(g, set), func(v Violation) bool {
-		out = append(out, v)
-		return true
-	})
+	sink := NewCollectSink(1)
+	err := DetVioB(ctx, NewBundle(g, set), sink)
+	out := sink.Report()
 	if err != nil {
 		return out, ErrTimeout
 	}
@@ -86,9 +90,9 @@ func DetVioCtx(ctx context.Context, g *graph.Graph, set *core.Set) (Report, erro
 // validation problem of Proposition 9. It stops at the first violation.
 func Satisfies(g *graph.Graph, set *core.Set) bool {
 	violated := false
-	_ = DetVioB(context.Background(), NewBundle(g, set), func(Violation) bool {
+	_ = DetVioB(context.Background(), NewBundle(g, set), Callback(func(Violation) bool {
 		violated = true
 		return false
-	})
+	}))
 	return !violated
 }
