@@ -29,20 +29,34 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|all")
-		scale   = flag.Int("scale", 250, "dataset scale")
-		rules   = flag.Int("rules", 8, "rule count ‖Σ‖")
-		qsize   = flag.Int("q", 4, "pattern size |Q| (nodes)")
-		seed    = flag.Int64("seed", 42, "deterministic seed")
-		twoFrac = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
-		jsonOut = flag.Bool("json", false, "write BENCH_<exp>.json result files")
+		which     = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|coldstart|all")
+		scale     = flag.Int("scale", 250, "dataset scale")
+		rules     = flag.Int("rules", 8, "rule count ‖Σ‖")
+		qsize     = flag.Int("q", 4, "pattern size |Q| (nodes)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		twoFrac   = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
+		graphPath = flag.String("graph", "", "run experiments over this graph file (text or .gfds snapshot) instead of generating one")
+		rulePath  = flag.String("rulefile", "", "parse Σ from this rule file instead of mining")
+		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json result files")
 	)
 	flag.Parse()
+
+	// Fail early and readably on bad file inputs; the harness itself
+	// panics on unreadable paths.
+	for _, p := range []string{*graphPath, *rulePath} {
+		if p != "" {
+			if _, err := os.Stat(p); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
 
 	base := func(dataset string) exp.Config {
 		return exp.Config{
 			Dataset: dataset, Scale: *scale, Rules: *rules,
 			PatternSize: *qsize, TwoCompFrac: *twoFrac, Seed: *seed,
+			GraphPath: *graphPath, RulesPath: *rulePath,
 		}
 	}
 
@@ -121,6 +135,14 @@ func main() {
 			fmt.Println(t)
 			return t
 		},
+		"coldstart": func() any {
+			t := exp.Coldstart(base("yago2"), 5)
+			fmt.Println(t)
+			if r, ok := exp.ColdstartRatio(t); ok {
+				fmt.Printf("snapshot open reaches the first violation at %.2fx of the build+freeze wall\n\n", r)
+			}
+			return t
+		},
 		"incremental": func() any {
 			t := exp.Incremental(base("yago2"), 20, 6)
 			fmt.Println(t)
@@ -155,7 +177,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream", "coldstart"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

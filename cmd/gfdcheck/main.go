@@ -8,12 +8,17 @@
 //
 //	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis|gcfd|bigdansing] [-n 8] [-v] [-stream] [-timeout 30s]
 //
-// The graph file uses the line format of package graph (node/edge lines);
-// the rules file uses the gfd block format (see README.md). Exit status:
+// The graph file uses the line format of package graph (node/edge lines),
+// or — with a .gfds extension — the binary snapshot format written by
+// gfdgen -snapshot / gfd.SaveSnapshot, which is mapped read-only and
+// skips the build+freeze phase entirely (snapshot files carry no node
+// names, so violations print #id placeholders). The rules file uses the
+// gfd block format (see README.md). Exit status:
 //
 //	0   the graph satisfies Σ
 //	1   violations were found (complete report)
-//	2   errors (bad input, unknown mode, engine failure)
+//	2   errors (bad input, corrupt or version-skewed snapshot file,
+//	    unknown mode, engine failure)
 //	3   the -timeout deadline expired before detection finished
 //	4   the result is partial (retry budgets exhausted under worker
 //	    failures) and no violations were found — "clean" cannot be
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,9 +71,29 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
-	g, names, err := readGraph(*graphPath)
-	if err != nil {
-		fatal(err)
+	// A .gfds graph is opened straight off its read-only mapping: no text
+	// parse, no rebuild, no freeze — the session below starts from the
+	// persisted snapshot with zero snapshot builds. Load failures (missing
+	// file, corruption, format version skew) are input errors: exit 2.
+	var (
+		g     *gfd.Graph
+		names map[string]gfd.NodeID
+		sess  *gfd.Session
+	)
+	if strings.HasSuffix(*graphPath, ".gfds") {
+		var loaded *gfd.LoadedSnapshot
+		var err error
+		sess, loaded, err = gfd.OpenSnapshot(context.Background(), *graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g = loaded.Snapshot().Graph() // mapping lives for the process; exit unmaps
+	} else {
+		var err error
+		g, names, err = readGraph(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	set, err := readRules(*rulesPath)
 	if err != nil {
@@ -89,10 +115,13 @@ func main() {
 
 	// The session lifecycle: prepare once, detect with any engine. A
 	// long-running checker would keep sess and prep alive across requests
-	// and graph updates; here one invocation is one Detect.
-	sess, err := gfd.NewSession(g)
-	if err != nil {
-		fatal(err)
+	// and graph updates; here one invocation is one Detect. (A .gfds input
+	// arrives with its session already opened over the mapping.)
+	if sess == nil {
+		sess, err = gfd.NewSession(g)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	prep, err := sess.Prepare(set)
 	if err != nil {
@@ -117,7 +146,12 @@ func main() {
 	printViolation := func(v gfd.Violation) {
 		fmt.Printf("  %s:", v.Rule)
 		for _, n := range v.Nodes() {
-			fmt.Printf(" %s(%s)", rev[n], g.Label(n))
+			name := rev[n]
+			if name == "" {
+				// Snapshot files carry no node names; fall back to the id.
+				name = fmt.Sprintf("#%d", n)
+			}
+			fmt.Printf(" %s(%s)", name, g.Label(n))
 		}
 		fmt.Println()
 	}

@@ -4,13 +4,17 @@
 // Usage:
 //
 //	gfdgen -dataset yago2 -scale 500 -out g.graph [-rules r.gfd -nrules 10]
-//	       [-noise 0.02] [-seed 1]
+//	       [-noise 0.02] [-seed 1] [-snapshot g.gfds]
 //
 // With -rules set, rules are mined on the *clean* graph before noise is
 // injected, matching the evaluation methodology of the paper (Section 7).
+// With -snapshot set, the final graph (after noise) is also frozen and
+// saved in the binary snapshot format, which gfdcheck and gfdbench open
+// without rebuilding; at least one of -out / -snapshot is required.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +28,8 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "synthetic", "synthetic | yago2 | dbpedia | pokec")
 		scale   = flag.Int("scale", 500, "dataset scale (entities; synthetic: nodes = 10x)")
-		out     = flag.String("out", "", "graph output file (required)")
+		out     = flag.String("out", "", "graph text output file")
+		snap    = flag.String("snapshot", "", "binary snapshot output file (.gfds; freeze + save)")
 		rules   = flag.String("rules", "", "also mine rules into this file")
 		nrules  = flag.Int("nrules", 10, "rules to mine")
 		qsize   = flag.Int("q", 5, "pattern size |Q| in nodes")
@@ -34,7 +39,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 	)
 	flag.Parse()
-	if *out == "" {
+	if *out == "" && *snap == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -69,10 +74,18 @@ func main() {
 		fmt.Printf("injected %d errors\n", len(errs))
 	}
 
-	if err := writeGraph(*out, g); err != nil {
-		fatal(err)
+	if *out != "" {
+		if err := writeGraph(*out, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	if *snap != "" {
+		if err := gfd.SaveSnapshot(context.Background(), g, *snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote snapshot %s\n", *snap)
+	}
 }
 
 func writeGraph(path string, g *graph.Graph) error {

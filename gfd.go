@@ -80,6 +80,7 @@ import (
 	"gfd/internal/reason"
 	"gfd/internal/repair"
 	"gfd/internal/session"
+	"gfd/internal/store"
 	"gfd/internal/validate"
 )
 
@@ -233,6 +234,52 @@ func ReadGraph(r io.Reader) (*Graph, map[string]NodeID, error) { return graph.Re
 
 // WriteGraph serializes a graph in the text format.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// LoadedSnapshot is an open persisted snapshot (.gfds file): the decoded
+// Snapshot plus the read-only memory mapping backing its arrays. Keep it
+// alive as long as anything derived from the snapshot is in use, then
+// Close it — unless the graph migrated off the mapping first (any
+// mutation, including through Session.Apply, does).
+type LoadedSnapshot = store.Loaded
+
+// Persistence errors: every load failure of a .gfds file wraps one of
+// these (branch with errors.Is). ErrSnapshotCorrupt covers structural
+// damage — truncation, checksum mismatch, a lying section table, invalid
+// graph invariants; ErrSnapshotVersion covers files written by a format
+// revision (or byte order) this build cannot read.
+var (
+	ErrSnapshotCorrupt = store.ErrCorrupt
+	ErrSnapshotVersion = store.ErrVersion
+)
+
+// SaveSnapshot persists g's frozen snapshot to path in the versioned
+// binary format (.gfds), atomically and durably (fsync before rename).
+// The freeze is cached per graph version, so saving an already-frozen
+// graph writes without rebuilding anything. See docs/SNAPSHOT_FORMAT.md
+// for the format.
+func SaveSnapshot(ctx context.Context, g *Graph, path string) error {
+	return store.Save(ctx, g.Freeze(), path)
+}
+
+// OpenSnapshot maps a saved snapshot read-only and opens a Session over
+// it. The cold path is Open → Prepare → Detect with zero snapshot builds:
+// the session's graph is a lazy view over the mapping, so no rebuild and
+// no copy of the CSR arrays happens until the graph is actually mutated —
+// at which point it migrates to the heap transparently and the mapping
+// can be closed. The returned LoadedSnapshot owns the mapping; close it
+// when the session is done (or after the first mutation).
+func OpenSnapshot(ctx context.Context, path string) (*Session, *LoadedSnapshot, error) {
+	l, err := store.Open(ctx, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := session.New(l.Snapshot().Graph())
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return sess, l, nil
+}
 
 // NewPattern returns an empty graph pattern.
 func NewPattern() *Pattern { return pattern.New() }

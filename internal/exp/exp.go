@@ -14,6 +14,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"gfd/internal/gen"
 	"gfd/internal/graph"
 	"gfd/internal/session"
+	"gfd/internal/store"
 	"gfd/internal/validate"
 )
 
@@ -34,6 +36,15 @@ type Config struct {
 	TwoCompFrac float64
 	NoiseRate   float64
 	Seed        int64
+
+	// GraphPath, when set, loads the experiment graph from a file — the
+	// text format, or the binary snapshot format for a .gfds extension —
+	// instead of generating one; no noise is injected into a loaded
+	// graph (the file is taken as the workload verbatim). RulesPath,
+	// when set, parses Σ from a rule file instead of mining it; without
+	// it, rules are mined on the loaded graph as-is.
+	GraphPath string
+	RulesPath string
 }
 
 // Defaults fills unset fields.
@@ -140,14 +151,61 @@ func (w Workload) Prepared() *session.Prepared {
 }
 
 // Prepare mines rules on the clean graph, injects noise, then prepares
-// the session on the noisy graph.
+// the session on the noisy graph. A Config with GraphPath/RulesPath set
+// loads those files instead (see Config); the harness panics on unreadable
+// inputs, so CLI callers should pre-validate paths.
 func Prepare(c Config) Workload {
 	c = c.Defaults()
+	if c.GraphPath != "" || c.RulesPath != "" {
+		g := c.cleanGraph()
+		if c.GraphPath != "" {
+			var err error
+			if g, err = LoadGraph(c.GraphPath); err != nil {
+				panic(err)
+			}
+		}
+		var set *core.Set
+		if c.RulesPath != "" {
+			f, err := os.Open(c.RulesPath)
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			if set, err = core.ParseRules(f); err != nil {
+				panic(err)
+			}
+		} else {
+			set = c.Mine(g)
+		}
+		return NewWorkload(g, set)
+	}
 	clean := c.cleanGraph()
 	set := c.Mine(clean)
 	gen.Inject(clean, gen.NoiseConfig{Rate: c.NoiseRate, Seed: c.Seed + 1,
 		Kinds: []gen.NoiseKind{gen.AttributeNoise, gen.RepresentationalNoise}})
 	return NewWorkload(clean, set)
+}
+
+// LoadGraph reads an experiment graph from disk: the line-oriented text
+// format, or — for a .gfds extension — the binary snapshot store, opened
+// zero-copy off its read-only mapping. The mapping of a .gfds load stays
+// open for the process lifetime (experiment graphs live until exit; a
+// caller needing eager unmapping should use package store directly).
+func LoadGraph(path string) (*graph.Graph, error) {
+	if strings.HasSuffix(path, ".gfds") {
+		l, err := store.Open(context.Background(), path)
+		if err != nil {
+			return nil, err
+		}
+		return l.Snapshot().Graph(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := graph.Read(f)
+	return g, err
 }
 
 // Table is one figure's data: rows indexed by the x-axis, one cell per

@@ -115,6 +115,7 @@ func tryBuildParallel(g *Graph, workers int) (s *Snapshot) {
 // differential tests and the freeze benchmark drive both paths through
 // this; regular callers should use Freeze.
 func (g *Graph) BuildSnapshot(workers int) *Snapshot {
+	g.ensureThawed()
 	if workers <= 1 || g.NumNodes() == 0 {
 		return buildSnapshot(g)
 	}

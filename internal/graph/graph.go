@@ -68,6 +68,14 @@ type Graph struct {
 	snapVersion  uint64
 	snapBuilds   uint64     // snapshots actually built (cache misses), for reuse probes
 	snapBuilding *snapBuild // in-flight build, so construction runs outside snapMu
+
+	// hollow is set on graphs adopted from a persisted snapshot
+	// (AdoptFlat): the mutable representation above is empty and is
+	// materialized lazily from this snapshot on first need (see
+	// ensureThawed in persist.go). Reads the snapshot can answer directly
+	// never trigger the thaw.
+	hollow      *Snapshot
+	hollowState hollowState
 }
 
 // snapBuild tracks one in-flight snapshot construction: concurrent Freeze
@@ -114,6 +122,7 @@ func New(nodeHint, edgeHint int) *Graph {
 // ID. The attrs map is stored by reference; callers must not mutate it after
 // the call unless they own the graph. A nil attrs is allowed.
 func (g *Graph) AddNode(label string, attrs Attrs) NodeID {
+	g.ensureThawed()
 	id := NodeID(len(g.labels))
 	g.labels = append(g.labels, label)
 	g.attrs = append(g.attrs, attrs)
@@ -131,6 +140,7 @@ func (g *Graph) AddNode(label string, attrs Attrs) NodeID {
 // distinct labels are allowed; duplicate (from, to, label) triples are not
 // deduplicated (the generators never produce them).
 func (g *Graph) AddEdge(from, to NodeID, label string) error {
+	g.ensureThawed()
 	if !g.Has(from) || !g.Has(to) {
 		return fmt.Errorf("graph: edge (%d)-[%s]->(%d) references missing node", from, label, to)
 	}
@@ -158,30 +168,51 @@ func (g *Graph) MustAddEdge(from, to NodeID, label string) {
 }
 
 // Has reports whether id is a node of g.
-func (g *Graph) Has(id NodeID) bool { return id >= 0 && int(id) < len(g.labels) }
+func (g *Graph) Has(id NodeID) bool {
+	if s := g.pending(); s != nil {
+		return id >= 0 && int(id) < s.NumNodes()
+	}
+	return id >= 0 && int(id) < len(g.labels)
+}
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.labels) }
+func (g *Graph) NumNodes() int {
+	if s := g.pending(); s != nil {
+		return s.NumNodes()
+	}
+	return len(g.labels)
+}
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.edges }
 
 // Size returns |V| + |E|, the size measure used for data blocks in the
 // paper's workload model.
-func (g *Graph) Size() int { return len(g.labels) + g.edges }
+func (g *Graph) Size() int { return g.NumNodes() + g.edges }
 
 // Label returns L(v).
-func (g *Graph) Label(id NodeID) string { return g.labels[id] }
+func (g *Graph) Label(id NodeID) string {
+	if s := g.pending(); s != nil {
+		return s.LabelName(id)
+	}
+	return g.labels[id]
+}
 
 // NodeAttrs returns the attribute tuple F_A(v). The returned map is shared
 // with the graph; treat it as read-only.
-func (g *Graph) NodeAttrs(id NodeID) Attrs { return g.attrs[id] }
+func (g *Graph) NodeAttrs(id NodeID) Attrs {
+	g.ensureThawed()
+	return g.attrs[id]
+}
 
 // Attr returns the value of attribute a on node id, and whether the node
 // carries that attribute at all. Missing attributes are first-class in GFD
 // semantics (a literal x.A = c in X is trivially unsatisfied when h(x) has
 // no attribute A).
 func (g *Graph) Attr(id NodeID, a string) (string, bool) {
+	if s := g.pending(); s != nil {
+		return s.Attr(id, a)
+	}
 	m := g.attrs[id]
 	if m == nil {
 		return "", false
@@ -193,6 +224,7 @@ func (g *Graph) Attr(id NodeID, a string) (string, bool) {
 // SetAttr sets attribute a of node id to value v, creating the tuple if the
 // node had none. Used by noise injection and repair experiments.
 func (g *Graph) SetAttr(id NodeID, a, v string) {
+	g.ensureThawed()
 	if g.attrs[id] == nil {
 		g.attrs[id] = make(Attrs, 1)
 	}
@@ -203,6 +235,7 @@ func (g *Graph) SetAttr(id NodeID, a, v string) {
 // Relabel changes the label of node id, maintaining the label index. Used
 // by type-inconsistency noise injection (Exp-5). It is O(label class size).
 func (g *Graph) Relabel(id NodeID, label string) {
+	g.ensureThawed()
 	old := g.labels[id]
 	if old == label {
 		return
@@ -233,27 +266,47 @@ func insertSorted(ids []NodeID, id NodeID) []NodeID {
 }
 
 // Out returns the out-adjacency of id. Shared slice; read-only.
-func (g *Graph) Out(id NodeID) []HalfEdge { return g.out[id] }
+func (g *Graph) Out(id NodeID) []HalfEdge {
+	g.ensureThawed()
+	return g.out[id]
+}
 
 // In returns the in-adjacency of id. Shared slice; read-only.
-func (g *Graph) In(id NodeID) []HalfEdge { return g.in[id] }
+func (g *Graph) In(id NodeID) []HalfEdge {
+	g.ensureThawed()
+	return g.in[id]
+}
 
 // OutDegree returns the number of out-edges of id.
-func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+func (g *Graph) OutDegree(id NodeID) int {
+	if s := g.pending(); s != nil {
+		return s.OutDegree(id)
+	}
+	return len(g.out[id])
+}
 
 // InDegree returns the number of in-edges of id.
-func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+func (g *Graph) InDegree(id NodeID) int {
+	if s := g.pending(); s != nil {
+		return s.InDegree(id)
+	}
+	return len(g.in[id])
+}
 
 // Degree returns total degree (in + out).
-func (g *Graph) Degree(id NodeID) int { return len(g.out[id]) + len(g.in[id]) }
+func (g *Graph) Degree(id NodeID) int { return g.OutDegree(id) + g.InDegree(id) }
 
 // NodesWithLabel returns the IDs of all nodes labeled l, in insertion order.
 // This is the candidate set C(u) for a pattern node u labeled l. The slice
 // is shared; read-only.
-func (g *Graph) NodesWithLabel(l string) []NodeID { return g.byLabel[l] }
+func (g *Graph) NodesWithLabel(l string) []NodeID {
+	g.ensureThawed()
+	return g.byLabel[l]
+}
 
 // Labels returns the distinct node labels of g in sorted order.
 func (g *Graph) Labels() []string {
+	g.ensureThawed()
 	out := make([]string, 0, len(g.byLabel))
 	for l := range g.byLabel {
 		out = append(out, l)
@@ -263,12 +316,19 @@ func (g *Graph) Labels() []string {
 }
 
 // LabelCount returns the number of nodes carrying label l.
-func (g *Graph) LabelCount(l string) int { return len(g.byLabel[l]) }
+func (g *Graph) LabelCount(l string) int {
+	g.ensureThawed()
+	return len(g.byLabel[l])
+}
 
 // HasEdge reports whether a from -[label]-> to edge exists. A wildcard match
 // on the label is not performed here; see package match for pattern
 // semantics.
 func (g *Graph) HasEdge(from, to NodeID, label string) bool {
+	// Thaw rather than answer from a pending snapshot: the snapshot's
+	// HasEdge takes interned codes, and a label the table never saw would
+	// intern-miss to NoSym semantics this string API doesn't share.
+	g.ensureThawed()
 	// Scan the smaller adjacency list of the two endpoints.
 	if len(g.out[from]) <= len(g.in[to]) {
 		for _, he := range g.out[from] {
@@ -289,6 +349,7 @@ func (g *Graph) HasEdge(from, to NodeID, label string) bool {
 // HasEdgeAnyLabel reports whether any from -> to edge exists regardless of
 // its label (wildcard edge label in a pattern).
 func (g *Graph) HasEdgeAnyLabel(from, to NodeID) bool {
+	g.ensureThawed()
 	if len(g.out[from]) <= len(g.in[to]) {
 		for _, he := range g.out[from] {
 			if he.To == to {
@@ -308,6 +369,7 @@ func (g *Graph) HasEdgeAnyLabel(from, to NodeID) bool {
 // Edges calls fn for every edge of g in deterministic (source, position)
 // order. Iteration stops early if fn returns false.
 func (g *Graph) Edges(fn func(Edge) bool) {
+	g.ensureThawed()
 	for from := range g.out {
 		for _, he := range g.out[from] {
 			if !fn(Edge{From: NodeID(from), To: he.To, Label: he.Label}) {
@@ -319,6 +381,7 @@ func (g *Graph) Edges(fn func(Edge) bool) {
 
 // Clone returns a deep copy of g. Attribute maps are copied.
 func (g *Graph) Clone() *Graph {
+	g.ensureThawed()
 	c := &Graph{
 		labels:  append([]string(nil), g.labels...),
 		attrs:   make([]Attrs, len(g.attrs)),
@@ -348,6 +411,7 @@ func (g *Graph) Clone() *Graph {
 // subgraph must bump only the subgraph's version, never mutate the parent
 // behind its cached snapshot.
 func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, map[NodeID]NodeID) {
+	g.ensureThawed()
 	remap := make(map[NodeID]NodeID, len(keep))
 	sub := New(len(keep), 0)
 	for _, id := range keep {

@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Sym is a dense interned code for a node label, edge label, attribute
 // name, or attribute value. Snapshots compare labels as Sym equality
@@ -87,6 +90,32 @@ func (s *Symbols) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.names)
+}
+
+// Names returns a copy of the interned names in code order (index i is the
+// string Sym(i) was interned from) — the serializable image of the table.
+func (s *Symbols) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
+}
+
+// adoptSymbols rebuilds a table from a serialized name list. The list must
+// be a valid table image: non-empty, wildcard first (codes are dense and
+// the wildcard is always interned at construction), no duplicates (two
+// codes for one name would break interning's bijection).
+func adoptSymbols(names []string) (*Symbols, error) {
+	if len(names) == 0 || names[0] != "_" {
+		return nil, fmt.Errorf("graph: symbol table must start with the wildcard %q", "_")
+	}
+	s := &Symbols{codes: make(map[string]Sym, len(names)), names: append([]string(nil), names...)}
+	for i, n := range s.names {
+		if _, dup := s.codes[n]; dup {
+			return nil, fmt.Errorf("graph: duplicate symbol %q", n)
+		}
+		s.codes[n] = Sym(i)
+	}
+	return s, nil
 }
 
 // view returns the table's name -> code index for lock-free reads. Only

@@ -1,0 +1,92 @@
+package store_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gfd/internal/graph"
+	"gfd/internal/store"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder. The contract under
+// fuzzing: Decode either returns a structurally valid snapshot or a typed
+// error (ErrCorrupt / ErrVersion) — never a panic, never an allocation
+// sized from an unvalidated on-disk length (a lying length would either
+// fail a bounds check or OOM the fuzzer, which counts as a crash). A
+// returned snapshot must survive a full accessor walk.
+func FuzzDecode(f *testing.F) {
+	// Seed with a pristine file and targeted mutations of it, so the
+	// fuzzer starts at the format's cliff edges instead of random noise.
+	g := graph.New(8, 16)
+	a := g.AddNode("person", graph.Attrs{"name": "ann"})
+	b := g.AddNode("person", graph.Attrs{"name": "bob"})
+	c := g.AddNode("city", nil)
+	g.MustAddEdge(a, b, "knows")
+	g.MustAddEdge(a, c, "in")
+	g.MustAddEdge(b, c, "in")
+	path := filepath.Join(f.TempDir(), "seed.gfds")
+	if err := store.Save(context.Background(), g.Freeze(), path); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(good[:17])
+	f.Add([]byte("GFDS"))
+	f.Add([]byte{})
+	for _, mut := range []func([]byte){
+		func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 2) },         // future version
+		func(b []byte) { binary.LittleEndian.PutUint32(b[12:16], 64) },      // count high
+		func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1<<60) },     // huge offset
+		func(b []byte) { binary.LittleEndian.PutUint64(b[32:], 1<<60) },     // huge length
+		func(b []byte) { b[len(b)-1] ^= 0xff },                              // tail flip
+		func(b []byte) { binary.LittleEndian.PutUint64(b[16+32+16:], 1e9) }, // lying section len
+	} {
+		c := append([]byte(nil), good...)
+		mut(c)
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := store.Decode(data)
+		if err != nil {
+			if !errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input: the snapshot must be internally consistent
+		// enough to walk every accessor without panicking.
+		n := s.NumNodes()
+		syms := s.Syms()
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			_ = syms.Name(s.Label(id))
+			for _, e := range s.Out(id) {
+				_ = syms.Name(e.Label)
+				_ = s.Label(e.To)
+			}
+			for _, e := range s.In(id) {
+				_ = s.Label(e.To)
+			}
+			for _, p := range s.AttrPairs(id) {
+				_ = syms.Name(p.Name)
+				_ = syms.Name(p.Val)
+			}
+		}
+		for l := 0; l < syms.Len(); l++ {
+			for _, v := range s.NodesWith(graph.Sym(l)) {
+				if s.Label(v) != graph.Sym(l) {
+					t.Fatalf("class %d contains node %d labeled %d", l, v, s.Label(v))
+				}
+			}
+		}
+	})
+}

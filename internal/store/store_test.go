@@ -1,0 +1,337 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gfd/internal/graph"
+	"gfd/internal/store"
+)
+
+func randomGraph(seed int64, nodes, edges int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"person", "city", "org", "x"}
+	elabels := []string{"knows", "in", "owns"}
+	attrs := []string{"name", "zip", "since"}
+	g := graph.New(nodes, edges)
+	for i := 0; i < nodes; i++ {
+		var a graph.Attrs
+		if rng.Intn(4) > 0 {
+			a = graph.Attrs{attrs[rng.Intn(len(attrs))]: string(rune('a' + rng.Intn(6)))}
+		}
+		g.AddNode(labels[rng.Intn(len(labels))], a)
+	}
+	for i := 0; i < edges; i++ {
+		g.MustAddEdge(graph.NodeID(rng.Intn(nodes)), graph.NodeID(rng.Intn(nodes)), elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+func saveTo(t *testing.T, s *graph.Snapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.gfds")
+	if err := store.Save(context.Background(), s, path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return path
+}
+
+// flatEqual compares every array of two snapshot images for exact
+// equality — the round-trip contract is byte-identical arrays and
+// identical symbol codes, not just isomorphic graphs.
+func flatEqual(t *testing.T, got, want graph.Flat) {
+	t.Helper()
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	for i := 0; i < gv.NumField(); i++ {
+		name := gv.Type().Field(i).Name
+		a, b := gv.Field(i).Interface(), wv.Field(i).Interface()
+		if !reflect.DeepEqual(a, b) && !(gv.Field(i).Len() == 0 && wv.Field(i).Len() == 0) {
+			t.Fatalf("round trip changed %s:\n got %v\nwant %v", name, a, b)
+		}
+	}
+}
+
+// TestRoundTrip is the differential core: Open(Save(Freeze(g))) must
+// reproduce the fresh freeze exactly, across graph shapes and both
+// freeze paths, and the serial and parallel freezes must save
+// byte-identical files.
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name         string
+		nodes, edges int
+		seed         int64
+	}{
+		{"small", 30, 80, 1},
+		{"medium", 400, 1600, 2},
+		{"sparse", 200, 50, 3},
+		{"single", 1, 0, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomGraph(tc.seed, tc.nodes, tc.edges)
+			serial := g.BuildSnapshot(1)
+			parallel := g.BuildSnapshot(4)
+
+			pSerial := filepath.Join(t.TempDir(), "serial.gfds")
+			pParallel := filepath.Join(t.TempDir(), "parallel.gfds")
+			if err := store.Save(context.Background(), serial, pSerial); err != nil {
+				t.Fatalf("Save(serial): %v", err)
+			}
+			if err := store.Save(context.Background(), parallel, pParallel); err != nil {
+				t.Fatalf("Save(parallel): %v", err)
+			}
+			bs, _ := os.ReadFile(pSerial)
+			bp, _ := os.ReadFile(pParallel)
+			if !bytes.Equal(bs, bp) {
+				t.Fatalf("serial and parallel freeze saved different bytes (%d vs %d)", len(bs), len(bp))
+			}
+
+			l, err := store.Open(context.Background(), pSerial)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer l.Close()
+			flatEqual(t, l.Snapshot().Flat(), serial.Flat())
+
+			// The loaded snapshot's graph handle answers reads without a
+			// single snapshot build.
+			lg := l.Snapshot().Graph()
+			if lg.SnapshotBuilds() != 0 {
+				t.Fatalf("loaded graph built %d snapshots before any use", lg.SnapshotBuilds())
+			}
+			if lg.NumNodes() != g.NumNodes() || lg.NumEdges() != g.NumEdges() {
+				t.Fatalf("loaded graph (%d,%d), want (%d,%d)", lg.NumNodes(), lg.NumEdges(), g.NumNodes(), g.NumEdges())
+			}
+			if lg.Freeze() != l.Snapshot() {
+				t.Fatal("Freeze on the loaded graph did not return the adopted snapshot")
+			}
+			if lg.SnapshotBuilds() != 0 {
+				t.Fatalf("Freeze on the loaded graph built a snapshot (builds=%d)", lg.SnapshotBuilds())
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				id := graph.NodeID(v)
+				if lg.Label(id) != g.Label(id) {
+					t.Fatalf("node %d: label %q, want %q", v, lg.Label(id), g.Label(id))
+				}
+				if lg.Degree(id) != g.Degree(id) {
+					t.Fatalf("node %d: degree %d, want %d", v, lg.Degree(id), g.Degree(id))
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripEmptyGraph covers the degenerate arenas (no nodes, no
+// edges, no attributes).
+func TestRoundTripEmptyGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	path := saveTo(t, g.Freeze())
+	l, err := store.Open(context.Background(), path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if n := l.Snapshot().NumNodes(); n != 0 {
+		t.Fatalf("empty graph loaded with %d nodes", n)
+	}
+}
+
+// TestLoadedGraphMutation checks the migration contract: mutating the
+// graph behind a loaded snapshot thaws a private heap copy, and the next
+// freeze builds fresh instead of writing anywhere near the mapping.
+func TestLoadedGraphMutation(t *testing.T) {
+	g := randomGraph(11, 50, 150)
+	path := saveTo(t, g.Freeze())
+	l, err := store.Open(context.Background(), path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+
+	lg := l.Snapshot().Graph()
+	lg.SetAttr(0, "name", "changed")
+	id := lg.AddNode("person", graph.Attrs{"name": "new"})
+	lg.MustAddEdge(id, 0, "knows")
+
+	s2 := lg.Freeze()
+	if s2 == l.Snapshot() {
+		t.Fatal("freeze after mutation returned the mapped snapshot")
+	}
+	if lg.SnapshotBuilds() != 1 {
+		t.Fatalf("expected exactly one rebuild after mutation, got %d", lg.SnapshotBuilds())
+	}
+	if v, _ := s2.Attr(0, "name"); v != "changed" {
+		t.Fatalf("mutation lost: attr = %q", v)
+	}
+	if got, want := s2.NumNodes(), g.NumNodes()+1; got != want {
+		t.Fatalf("rebuilt snapshot has %d nodes, want %d", got, want)
+	}
+	// The original file must be untouched by all of the above.
+	l2, err := store.Open(context.Background(), path)
+	if err != nil {
+		t.Fatalf("re-Open after mutation: %v", err)
+	}
+	defer l2.Close()
+	flatEqual(t, l2.Snapshot().Flat(), g.Freeze().Flat())
+}
+
+// corrupt returns a copy of b with mutate applied.
+func corrupt(b []byte, mutate func([]byte)) []byte {
+	c := append([]byte(nil), b...)
+	mutate(c)
+	return c
+}
+
+func mustDecodeErr(t *testing.T, data []byte, want error) {
+	t.Helper()
+	_, err := store.Decode(data)
+	if err == nil {
+		t.Fatal("Decode accepted corrupt input")
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("Decode error = %v, want errors.Is(%v)", err, want)
+	}
+}
+
+// TestDecodeCorruption walks the corruption taxonomy: every class must
+// come back as the right typed error, never a panic or a bogus snapshot.
+func TestDecodeCorruption(t *testing.T) {
+	g := randomGraph(5, 40, 120)
+	path := saveTo(t, g.Freeze())
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Decode(good); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		mustDecodeErr(t, corrupt(good, func(b []byte) { b[0] = 'X' }), store.ErrCorrupt)
+	})
+	t.Run("version skew", func(t *testing.T) {
+		c := corrupt(good, func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 99) })
+		mustDecodeErr(t, c, store.ErrVersion)
+	})
+	t.Run("endianness mismatch", func(t *testing.T) {
+		c := corrupt(good, func(b []byte) { b[8], b[9], b[10], b[11] = b[11], b[10], b[9], b[8] })
+		mustDecodeErr(t, c, store.ErrVersion)
+	})
+	t.Run("section count lies", func(t *testing.T) {
+		for _, n := range []uint32{0, 3, 65, 1 << 30} {
+			c := corrupt(good, func(b []byte) { binary.LittleEndian.PutUint32(b[12:16], n) })
+			mustDecodeErr(t, c, store.ErrCorrupt)
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		// Every strict prefix must be rejected; step oddly so boundary and
+		// mid-section cuts are both hit, and cover the smallest prefixes
+		// exhaustively.
+		for cut := 0; cut < len(good); cut += 1 + cut/16 {
+			if _, err := store.Decode(good[:cut]); err == nil {
+				t.Fatalf("accepted %d-byte prefix of a %d-byte file", cut, len(good))
+			} else if !errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrVersion) {
+				t.Fatalf("prefix %d: untyped error %v", cut, err)
+			}
+		}
+	})
+	t.Run("table offset beyond file", func(t *testing.T) {
+		c := corrupt(good, func(b []byte) { binary.LittleEndian.PutUint64(b[16+8:], 1<<40) })
+		mustDecodeErr(t, c, store.ErrCorrupt)
+	})
+	t.Run("table length lies", func(t *testing.T) {
+		c := corrupt(good, func(b []byte) { binary.LittleEndian.PutUint64(b[16+16:], 1<<40) })
+		mustDecodeErr(t, c, store.ErrCorrupt)
+	})
+	t.Run("duplicate section id", func(t *testing.T) {
+		c := corrupt(good, func(b []byte) {
+			copy(b[16+32:16+64], b[16:16+32]) // second entry = first entry
+		})
+		mustDecodeErr(t, c, store.ErrCorrupt)
+	})
+	t.Run("header edits fail the header crc", func(t *testing.T) {
+		// The three table lies above hit the range the header checksum
+		// covers, so flipping any single header/table byte must fail too.
+		c := corrupt(good, func(b []byte) { b[20] ^= 0x40 })
+		mustDecodeErr(t, c, store.ErrCorrupt)
+	})
+	t.Run("body bit flips", func(t *testing.T) {
+		// Flip one bit in each body byte position (sampled): either the
+		// section checksum catches it, or the flip landed in inter-section
+		// padding and the decode result must equal the pristine one.
+		want := g.Freeze().Flat()
+		start := 16 + 12*32 + 4
+		for pos := start; pos < len(good); pos += 7 {
+			c := corrupt(good, func(b []byte) { b[pos] ^= 0x10 })
+			s, err := store.Decode(c)
+			if err != nil {
+				if !errors.Is(err, store.ErrCorrupt) {
+					t.Fatalf("flip at %d: untyped error %v", pos, err)
+				}
+				continue
+			}
+			flatEqual(t, s.Flat(), want)
+		}
+	})
+	t.Run("skip checksums still validates structure", func(t *testing.T) {
+		// Without body CRCs, a flipped adjacency byte must still be caught
+		// by the structural validation whenever it breaks an invariant —
+		// and must never panic. Flip a byte inside the out-offsets section
+		// so monotonicity breaks.
+		c := corrupt(good, func(b []byte) {
+			off := binary.LittleEndian.Uint64(b[16+6*32+8:]) // secOutOff entry
+			binary.LittleEndian.PutUint32(b[off+4:], 1<<30)
+		})
+		if _, err := store.Decode(c, store.SkipChecksums()); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("structural validation missed a lying offset: %v", err)
+		}
+	})
+}
+
+// TestSaveOpenCancellation: a canceled context aborts both directions
+// with ctx.Err() and leaves no temp debris behind.
+func TestSaveOpenCancellation(t *testing.T) {
+	g := randomGraph(9, 30, 90)
+	s := g.Freeze()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	path := filepath.Join(dir, "g.gfds")
+	if err := store.Save(ctx, s, path); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Save under canceled ctx: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("canceled Save published a file")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("canceled Save left %d temp files", len(ents))
+	}
+
+	if err := store.Save(context.Background(), s, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(ctx, path); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open under canceled ctx: %v", err)
+	}
+}
+
+func TestSaveNilSnapshot(t *testing.T) {
+	if err := store.Save(context.Background(), nil, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("Save accepted a nil snapshot")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := store.Open(context.Background(), filepath.Join(t.TempDir(), "absent.gfds")); err == nil {
+		t.Fatal("Open accepted a missing file")
+	}
+}
