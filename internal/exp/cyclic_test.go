@@ -1,0 +1,40 @@
+package exp
+
+import "testing"
+
+// TestCyclicShape runs the cyclic sweep at a tiny scale: both enumeration
+// paths must agree (the harness panics inside Cyclic on a count mismatch,
+// so completing IS the differential assertion) and every row must carry
+// the gated cells.
+func TestCyclicShape(t *testing.T) {
+	c := Config{Dataset: "synthetic", Scale: 20, Seed: 7}
+	tab := Cyclic(c, 1)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want triangle/diamond/cycle4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, cell := range []string{"wco_ms", "probe_ms", "frac"} {
+			if v, ok := r.Cells[cell]; !ok || v < 0 {
+				t.Fatalf("%s: missing or negative %s", r.X, cell)
+			}
+		}
+	}
+	if s := CyclicSpeedups(tab); len(s) != 3 {
+		t.Fatalf("speedups = %v", s)
+	}
+}
+
+// TestCyclicFactorShape: the factorized and per-rule drivers must find
+// the same violation count (CyclicFactor panics otherwise), with > 0
+// violations so the comparison measures real work.
+func TestCyclicFactorShape(t *testing.T) {
+	c := Config{Dataset: "synthetic", Scale: 20, Seed: 7}
+	tab := CyclicFactor(c, 1)
+	f, ok := tab.Get("group4", "factored_ms")
+	if !ok || f <= 0 {
+		t.Fatal("missing factored_ms cell")
+	}
+	if _, ok := tab.Get("group4", "perrule_ms"); !ok {
+		t.Fatal("missing perrule_ms cell")
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refIntersect is the map-based reference: NodeIDs present in every range.
+func refIntersect(ranges [][]CSREdge) []NodeID {
+	counts := make(map[NodeID]int)
+	for _, r := range ranges {
+		seen := make(map[NodeID]bool)
+		for _, e := range r {
+			if !seen[e.To] {
+				seen[e.To] = true
+				counts[e.To]++
+			}
+		}
+	}
+	var out []NodeID
+	for v, c := range counts {
+		if c == len(ranges) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRange(rng *rand.Rand, n, space int, withDups bool) []CSREdge {
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, rng.Intn(space))
+	}
+	sort.Ints(ids)
+	out := make([]CSREdge, 0, n)
+	for i, id := range ids {
+		if !withDups && i > 0 && id == ids[i-1] {
+			continue
+		}
+		out = append(out, CSREdge{To: NodeID(id), Label: 1})
+	}
+	return out
+}
+
+func TestSeekGE(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		es := sortedRange(rng, rng.Intn(40), 60, true)
+		for trial := 0; trial < 20; trial++ {
+			from := 0
+			if len(es) > 0 {
+				from = rng.Intn(len(es) + 1)
+			}
+			to := NodeID(rng.Intn(70))
+			got := SeekGE(es, from, to)
+			want := from
+			for want < len(es) && es[want].To < to {
+				want++
+			}
+			if got != want {
+				t.Fatalf("SeekGE(%v, %d, %d) = %d, want %d", es, from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersectAdjacencyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		k := 1 + rng.Intn(5)
+		ranges := make([][]CSREdge, k)
+		for i := range ranges {
+			ranges[i] = sortedRange(rng, rng.Intn(30), 40, rng.Intn(2) == 0)
+		}
+		got := IntersectAdjacency(nil, ranges)
+		want := refIntersect(ranges)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: got %v want %v (ranges %v)", iter, got, want, ranges)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: got %v want %v", iter, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersectAdjacencyEdgeCases(t *testing.T) {
+	if got := IntersectAdjacency(nil, nil); len(got) != 0 {
+		t.Fatalf("empty arity: %v", got)
+	}
+	empty := [][]CSREdge{{{To: 1}}, nil}
+	if got := IntersectAdjacency(nil, empty); len(got) != 0 {
+		t.Fatalf("one empty range: %v", got)
+	}
+	// Disjoint ranges.
+	dis := [][]CSREdge{{{To: 1}, {To: 2}}, {{To: 3}, {To: 4}}}
+	if got := IntersectAdjacency(nil, dis); len(got) != 0 {
+		t.Fatalf("disjoint: %v", got)
+	}
+	// Duplicates collapse.
+	dup := [][]CSREdge{{{To: 5}, {To: 5}}, {{To: 5}, {To: 5}, {To: 6}}}
+	if got := IntersectAdjacency(nil, dup); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("duplicates: %v", got)
+	}
+	// Arity above MaxIntersectArity still correct (allocates, never wrong).
+	var wide [][]CSREdge
+	for i := 0; i < MaxIntersectArity+3; i++ {
+		wide = append(wide, []CSREdge{{To: 2}, {To: NodeID(10 + i)}})
+	}
+	if got := IntersectAdjacency(nil, wide); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("wide arity: %v", got)
+	}
+}
+
+// TestIntersectAdjacencyZeroAlloc pins the kernel's steady state at zero
+// allocations: reused dst capacity, stack-resident cursor array.
+func TestIntersectAdjacencyZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := sortedRange(rng, 200, 300, false)
+	b := sortedRange(rng, 200, 300, false)
+	c := sortedRange(rng, 200, 300, false)
+	ranges := [][]CSREdge{a, b, c}
+	dst := make([]NodeID, 0, 400)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = IntersectAdjacency(dst[:0], ranges)
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectAdjacency allocates %.1f per run, want 0", allocs)
+	}
+}

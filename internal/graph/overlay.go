@@ -84,6 +84,11 @@ func (o *Overlay) Graph() *Graph { return o.g }
 // Base returns the frozen snapshot the overlay patches.
 func (o *Overlay) Base() *Snapshot { return o.base }
 
+// Version returns the graph version the overlay's patches reflect. It
+// advances with every mutation applied through the overlay, so holders of
+// topology-derived caches (the matcher's plan cache) can key on it.
+func (o *Overlay) Version() uint64 { return o.version }
+
 // Synced reports whether the overlay reflects the graph's current version
 // — true as long as every mutation since NewOverlay went through the
 // overlay. Holders of a desynchronized overlay must discard it and

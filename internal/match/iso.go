@@ -51,6 +51,13 @@ type Options struct {
 	StripeNode int
 	StripeMod  int
 	StripeRem  int
+	// NoIntersect disables the Matcher's multiway sorted-intersection
+	// candidate step, forcing the classical iterate-smallest-and-probe
+	// backtracking everywhere. The match set is identical either way; the
+	// flag exists for differential tests and for benchmarking the
+	// worst-case-optimal step against the backtracking path. The legacy
+	// Enumerate path ignores it (it has no intersection step).
+	NoIntersect bool
 	// Halt is consulted at strided checkpoints inside candidate
 	// enumeration; returning true abandons the search immediately, even
 	// mid-class on a stretch that produces no matches (where a

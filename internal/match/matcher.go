@@ -22,11 +22,16 @@ import (
 // buffers. Engines create one Matcher per worker; all of them share one
 // Topology, which is read-only during matching.
 //
-// Candidate generation prefers the smallest label-filtered adjacency range
-// among already-matched pattern neighbors (set intersection driven by the
-// most selective sorted range, remaining constraints checked by binary
-// search), falling back to the pattern node's label class — or, for a
-// striped node, the class's precomputed residue sub-range.
+// Candidate generation: a pattern node with two or more already-matched
+// neighbors over concrete edge labels takes the worst-case-optimal route —
+// a Leapfrog-style multiway intersection of their sorted CSR ranges
+// (graph.IntersectAdjacency), so only common neighbors are ever tried.
+// With a single matched neighbor it iterates the smallest label-filtered
+// range (remaining constraints checked by binary search), falling back to
+// the pattern node's label class — or, for a striped node, the class's
+// precomputed residue sub-range. Matching orders are cached per (compiled
+// pattern, pin set, topology version); Options.NoIntersect forces the
+// backtracking path for differential testing.
 type Matcher struct {
 	topo graph.Topology
 	// snap is the devirtualized fast path: non-nil exactly when topo is a
@@ -41,6 +46,22 @@ type Matcher struct {
 	order  []int      // matching order
 	placed []bool     // planOrder scratch
 	est    []int      // planOrder scratch: candidate estimate per pattern node
+
+	// Worst-case-optimal intersection state. ranges is the per-depth
+	// gather scratch for concrete-label adjacency ranges: it is consumed
+	// (intersected into cands) before the search recurses, so one copy
+	// serves every depth. cands holds one reusable intersection output
+	// buffer per depth — the buffer IS iterated across the recursion, so
+	// depths must not share.
+	ranges [graph.MaxIntersectArity][]graph.CSREdge
+	cands  [][]graph.NodeID
+
+	// plans caches computed matching orders per (compiled pattern, pin
+	// set, topology version), so repeated Enumerate calls — one per work
+	// unit on the engine paths — stop re-deriving the same order from the
+	// same class sizes. Snapshots are immutable (version 0 forever); an
+	// Overlay keys by its graph version so mutations invalidate naturally.
+	plans map[planKey][]int
 
 	// Per-call state.
 	q     *pattern.Pattern
@@ -63,6 +84,21 @@ type Matcher struct {
 // bounds stop latency to a few thousand candidate tries — microseconds —
 // while keeping the per-try cost to a counter increment.
 const haltStride = 64
+
+// planKey identifies one cached matching order: the lowered pattern (a
+// stable pointer per (pattern, symbol table)), the set of pinned pattern
+// nodes as a bitmask (pin *values* never affect the order), and the
+// topology version the class-size estimates were read at.
+type planKey struct {
+	cq   *pattern.Compiled
+	pins uint64
+	ver  uint64
+}
+
+// maxPlanCache bounds the plan cache; beyond it the cache resets. Engines
+// cycle through a handful of rule patterns per matcher, so eviction only
+// fires for a long-lived matcher over a heavily mutating overlay.
+const maxPlanCache = 64
 
 // NewMatcher returns a matcher over t.
 func NewMatcher(t graph.Topology) *Matcher {
@@ -183,6 +219,22 @@ func (m *Matcher) ensure(n int) {
 		m.assign[i] = graph.Invalid
 		m.placed[i] = false
 	}
+	for len(m.cands) < n {
+		m.cands = append(m.cands, nil)
+	}
+}
+
+// topoVersion is the plan-cache version component: snapshots are immutable
+// so every enumeration sees version 0; an overlay reports its graph
+// version, which advances per mutation.
+func (m *Matcher) topoVersion() uint64 {
+	if m.snap != nil {
+		return 0
+	}
+	if o, ok := m.topo.(*graph.Overlay); ok {
+		return o.Version()
+	}
+	return 0
 }
 
 // planOrder mirrors the legacy searcher's matching order — pinned nodes
@@ -191,6 +243,24 @@ func (m *Matcher) ensure(n int) {
 // topology class sizes as estimates and no allocations.
 func (m *Matcher) planOrder() {
 	n := m.n
+	// Cached order: patterns small enough for a pin bitmask (all of them,
+	// in practice) resolve repeated enumerations — one per work unit on
+	// the engine paths — to a map hit and a copy, skipping the class-size
+	// reads and the O(|Q|²) selection below.
+	cacheable := n <= 64
+	var key planKey
+	if cacheable {
+		key = planKey{cq: m.cq, ver: m.topoVersion()}
+		for i := 0; i < n; i++ {
+			if _, ok := m.opts.Pin[i]; ok {
+				key.pins |= 1 << uint(i)
+			}
+		}
+		if ord, ok := m.plans[key]; ok {
+			copy(m.order, ord)
+			return
+		}
+	}
 	// Candidate estimates are constant during planning; resolving them
 	// once per pattern node keeps the O(|Q|²) selection loops on plain
 	// array reads (and off the Topology interface on the overlay path).
@@ -239,6 +309,14 @@ func (m *Matcher) planOrder() {
 		m.order[k] = next
 		k++
 	}
+	if cacheable {
+		if m.plans == nil {
+			m.plans = make(map[planKey][]int)
+		} else if len(m.plans) >= maxPlanCache {
+			clear(m.plans)
+		}
+		m.plans[key] = append([]int(nil), m.order[:n]...)
+	}
 }
 
 func (m *Matcher) extend(depth int) {
@@ -260,26 +338,59 @@ func (m *Matcher) extend(depth int) {
 		m.try(depth, u, v)
 		return
 	}
-	// Prefer the smallest label-filtered adjacency range among edges to
-	// already-matched neighbors: iterate the most selective sorted range,
-	// feasible() verifies the rest by binary search.
+	// Candidate generation. With one matched neighbor (or under
+	// NoIntersect): iterate the smallest label-filtered adjacency range,
+	// feasible() verifies the rest by binary search. With two or more
+	// matched neighbors over concrete edge labels: intersect their sorted
+	// ranges directly (worst-case-optimal join step) — only survivors of
+	// the multiway merge reach try(), skipping the per-candidate probes
+	// that make cyclic patterns (triangles, diamonds) pay the classical
+	// intermediate blow-up. Wildcard-labeled ranges span label groups and
+	// are not To-sorted, so they never join the intersection; feasible()
+	// still checks those edges per candidate.
 	var best []graph.CSREdge
 	bestLen := -1
+	wco := !m.opts.NoIntersect
+	nr := 0
 	for _, ei := range m.q.InEdges(u) {
 		e := m.cq.Edges[ei]
 		if from := m.assign[e.From]; from != graph.Invalid {
-			if r := m.topo.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
+			r := m.topo.OutWith(from, e.Label)
+			if bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
+			}
+			if wco && e.Label != graph.WildcardSym && nr < graph.MaxIntersectArity {
+				m.ranges[nr] = r
+				nr++
 			}
 		}
 	}
 	for _, ei := range m.q.OutEdges(u) {
 		e := m.cq.Edges[ei]
 		if to := m.assign[e.To]; to != graph.Invalid {
-			if r := m.topo.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
+			r := m.topo.InWith(to, e.Label)
+			if bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
 			}
+			if wco && e.Label != graph.WildcardSym && nr < graph.MaxIntersectArity {
+				m.ranges[nr] = r
+				nr++
+			}
 		}
+	}
+	if nr >= 2 {
+		// m.ranges is free for deeper depths once the intersection has
+		// materialized into this depth's candidate buffer; the buffer
+		// itself is per-depth because it is live across the recursion.
+		cands := graph.IntersectAdjacency(m.cands[depth][:0], m.ranges[:nr])
+		m.cands[depth] = cands
+		for _, v := range cands {
+			m.try(depth, u, v)
+			if m.halt {
+				return
+			}
+		}
+		return
 	}
 	if bestLen >= 0 {
 		for i := range best {
@@ -427,21 +538,45 @@ func (m *Matcher) extendSnap(depth int) {
 	}
 	var best []graph.CSREdge
 	bestLen := -1
+	wco := !m.opts.NoIntersect
+	nr := 0
 	for _, ei := range m.q.InEdges(u) {
 		e := m.cq.Edges[ei]
 		if from := m.assign[e.From]; from != graph.Invalid {
-			if r := m.snap.OutWith(from, e.Label); bestLen < 0 || len(r) < bestLen {
+			r := m.snap.OutWith(from, e.Label)
+			if bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
+			}
+			if wco && e.Label != graph.WildcardSym && nr < graph.MaxIntersectArity {
+				m.ranges[nr] = r
+				nr++
 			}
 		}
 	}
 	for _, ei := range m.q.OutEdges(u) {
 		e := m.cq.Edges[ei]
 		if to := m.assign[e.To]; to != graph.Invalid {
-			if r := m.snap.InWith(to, e.Label); bestLen < 0 || len(r) < bestLen {
+			r := m.snap.InWith(to, e.Label)
+			if bestLen < 0 || len(r) < bestLen {
 				best, bestLen = r, len(r)
 			}
+			if wco && e.Label != graph.WildcardSym && nr < graph.MaxIntersectArity {
+				m.ranges[nr] = r
+				nr++
+			}
 		}
+	}
+	if nr >= 2 {
+		// Worst-case-optimal step; see extend.
+		cands := graph.IntersectAdjacency(m.cands[depth][:0], m.ranges[:nr])
+		m.cands[depth] = cands
+		for _, v := range cands {
+			m.trySnap(depth, u, v)
+			if m.halt {
+				return
+			}
+		}
+		return
 	}
 	if bestLen >= 0 {
 		for i := range best {

@@ -1,0 +1,240 @@
+package pattern
+
+import "math/bits"
+
+// Shared-core factorization metadata (FDB-style factorized evaluation):
+// a group of rule patterns that share a connected sub-pattern — the "core",
+// or shared prefix — can be enumerated by matching the core once and
+// branching per rule at the divergence point, with the core's image pinned.
+// This file computes the cores; internal/validate drives the factorized
+// enumeration.
+//
+// Strictness matters here, and differs from Embeddings (embed.go): an
+// embedding used as a shared *enumeration* prefix must be label-strict in
+// both directions — a wildcard core node may only map to a wildcard host
+// node, and vice versa — so that the core's match set restricts exactly
+// neither tighter nor looser than each member's. (Embeddings' wildcard-sub
+// ⊆ any-host direction is sound for implication reasoning but would make a
+// wildcard core scan the whole graph for members whose node is concrete.)
+
+// maxFactorNodes bounds the subset enumeration of CommonCore. Rule
+// patterns are tiny (|Q| ≤ ~8 in every workload); patterns beyond the
+// bound simply decline to factorize.
+const maxFactorNodes = 12
+
+// StrictEmbedding returns a label-strict embedding of sub into host —
+// map[i] is the host node sub node i maps to — or nil when none exists.
+// Strict: node labels must be equal strings (Wildcard only equals
+// Wildcard), and every sub edge needs a host edge between the images with
+// an equal label.
+func StrictEmbedding(sub, host *Pattern) []int {
+	if sub.NumNodes() > host.NumNodes() || sub.NumEdges() > host.NumEdges() {
+		return nil
+	}
+	e := &strictEmbedder{sub: sub, host: host}
+	e.order = connectivityOrder(sub)
+	e.assign = make([]int, sub.NumNodes())
+	for i := range e.assign {
+		e.assign[i] = -1
+	}
+	e.usedHost = make([]bool, host.NumNodes())
+	if e.search(0) {
+		return e.assign
+	}
+	return nil
+}
+
+type strictEmbedder struct {
+	sub, host *Pattern
+	order     []int
+	assign    []int
+	usedHost  []bool
+}
+
+func (e *strictEmbedder) search(depth int) bool {
+	if depth == len(e.order) {
+		return true
+	}
+	u := e.order[depth]
+	for h := 0; h < e.host.NumNodes(); h++ {
+		if e.usedHost[h] || e.sub.Nodes[u].Label != e.host.Nodes[h].Label {
+			continue
+		}
+		if !e.edgesOK(u, h) {
+			continue
+		}
+		e.assign[u] = h
+		e.usedHost[h] = true
+		if e.search(depth + 1) {
+			return true
+		}
+		e.usedHost[h] = false
+		e.assign[u] = -1
+	}
+	return false
+}
+
+func (e *strictEmbedder) edgesOK(u, h int) bool {
+	for _, ei := range e.sub.OutEdges(u) {
+		se := e.sub.Edges[ei]
+		to := e.assign[se.To]
+		if se.To == u {
+			to = h // self-loop
+		}
+		if to >= 0 && !e.hostHasEdge(h, to, se.Label) {
+			return false
+		}
+	}
+	for _, ei := range e.sub.InEdges(u) {
+		se := e.sub.Edges[ei]
+		if se.From == u {
+			continue // self-loop handled above
+		}
+		if from := e.assign[se.From]; from >= 0 && !e.hostHasEdge(from, h, se.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *strictEmbedder) hostHasEdge(from, to int, label string) bool {
+	for _, ei := range e.host.OutEdges(from) {
+		he := e.host.Edges[ei]
+		if he.To == to && he.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// CommonCore returns a maximum connected induced sub-pattern of a that is
+// label-strictly embeddable in b and has at least minNodes nodes, along
+// with the node maps aMap, bMap (core node index -> a / b node index).
+// Ties break deterministically (smallest node subset in ascending mask
+// order). Returns ok == false when no qualifying core exists or a is too
+// large to enumerate (maxFactorNodes).
+//
+// The core is *induced* from a: it carries every a edge between the chosen
+// nodes, which maximizes the constraints the shared enumeration applies
+// before branching.
+func CommonCore(a, b *Pattern, minNodes int) (core *Pattern, aMap, bMap []int, ok bool) {
+	n := a.NumNodes()
+	if n == 0 || n > maxFactorNodes || minNodes > n {
+		return nil, nil, nil, false
+	}
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	// Enumerate node subsets of a by descending size; the first connected
+	// induced sub-pattern that strictly embeds in b is a maximum core.
+	for size := n; size >= minNodes; size-- {
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			if bits.OnesCount(uint(mask)) != size {
+				continue
+			}
+			if !connectedSubset(a, mask) {
+				continue
+			}
+			sub, subMap := inducedSub(a, mask)
+			if bm := StrictEmbedding(sub, b); bm != nil {
+				return sub, subMap, bm, true
+			}
+		}
+	}
+	return nil, nil, nil, false
+}
+
+// connectedSubset reports whether the nodes of mask induce a connected
+// sub-pattern of a (edges in either direction connect).
+func connectedSubset(a *Pattern, mask int) bool {
+	start := bits.TrailingZeros(uint(mask))
+	seen := 1 << uint(start)
+	frontier := seen
+	for frontier != 0 {
+		next := 0
+		for v := 0; v < a.NumNodes(); v++ {
+			if frontier&(1<<uint(v)) == 0 {
+				continue
+			}
+			for _, ei := range a.OutEdges(v) {
+				w := a.Edges[ei].To
+				if mask&(1<<uint(w)) != 0 && seen&(1<<uint(w)) == 0 {
+					next |= 1 << uint(w)
+				}
+			}
+			for _, ei := range a.InEdges(v) {
+				w := a.Edges[ei].From
+				if mask&(1<<uint(w)) != 0 && seen&(1<<uint(w)) == 0 {
+					next |= 1 << uint(w)
+				}
+			}
+		}
+		seen |= next
+		frontier = next
+	}
+	return seen == mask
+}
+
+// inducedSub builds the sub-pattern induced by mask's nodes, preserving
+// a's variable names, plus the core -> a node map (ascending a order).
+func inducedSub(a *Pattern, mask int) (*Pattern, []int) {
+	sub := New()
+	var subMap []int
+	remap := make(map[int]int, bits.OnesCount(uint(mask)))
+	for v := 0; v < a.NumNodes(); v++ {
+		if mask&(1<<uint(v)) != 0 {
+			remap[v] = sub.AddNode(a.Nodes[v].Var, a.Nodes[v].Label)
+			subMap = append(subMap, v)
+		}
+	}
+	for _, e := range a.Edges {
+		fi, okF := remap[e.From]
+		ti, okT := remap[e.To]
+		if okF && okT {
+			sub.AddEdge(fi, ti, e.Label)
+		}
+	}
+	return sub, subMap
+}
+
+// HasCycle reports whether p contains an undirected cycle (edge
+// directions ignored, parallel edges count): union-find over the edge
+// list — an edge whose endpoints are already connected closes a cycle.
+// Factorization pre-filters on it: a connected common core can only be
+// cyclic when both host patterns are.
+func HasCycle(p *Pattern) bool {
+	parent := make([]int, len(p.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range p.Edges {
+		ru, rv := find(e.From), find(e.To)
+		if ru == rv {
+			return true
+		}
+		parent[ru] = rv
+	}
+	return false
+}
+
+// HasDuplicateEdges reports whether p carries two edges with identical
+// (From, To, Label) — the multi-edge corner the factorized driver must not
+// shortcut through (a strict embedding maps duplicates onto one host edge,
+// leaving another host edge unverified).
+func HasDuplicateEdges(p *Pattern) bool {
+	for i, e := range p.Edges {
+		for _, f := range p.Edges[i+1:] {
+			if e == f {
+				return true
+			}
+		}
+	}
+	return false
+}

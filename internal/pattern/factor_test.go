@@ -1,0 +1,168 @@
+package pattern
+
+import "testing"
+
+func triangle() *Pattern {
+	p := New()
+	x := p.AddNode("x", "A")
+	y := p.AddNode("y", "B")
+	z := p.AddNode("z", "C")
+	p.AddEdge(x, y, "ab")
+	p.AddEdge(y, z, "bc")
+	p.AddEdge(x, z, "ac")
+	return p
+}
+
+func TestStrictEmbedding(t *testing.T) {
+	tri := triangle()
+	// The triangle embeds strictly into itself.
+	if m := StrictEmbedding(tri, tri); m == nil {
+		t.Fatal("triangle must strictly embed into itself")
+	}
+	// A path A->B embeds into the triangle.
+	path := New()
+	a := path.AddNode("p", "A")
+	b := path.AddNode("q", "B")
+	path.AddEdge(a, b, "ab")
+	m := StrictEmbedding(path, tri)
+	if m == nil {
+		t.Fatal("A-[ab]->B must embed into the triangle")
+	}
+	if tri.Nodes[m[0]].Label != "A" || tri.Nodes[m[1]].Label != "B" {
+		t.Fatalf("embedding maps to wrong labels: %v", m)
+	}
+	// Strictness: a wildcard sub node must NOT map onto a concrete host
+	// node (Embeddings would allow it; the factorized prefix must not).
+	wild := New()
+	wa := wild.AddNode("p", Wildcard)
+	wb := wild.AddNode("q", "B")
+	wild.AddEdge(wa, wb, "ab")
+	if m := StrictEmbedding(wild, tri); m != nil {
+		t.Fatalf("wildcard node strictly embedded onto concrete host: %v", m)
+	}
+	// And the reverse direction: concrete sub onto wildcard host.
+	host := New()
+	ha := host.AddNode("p", Wildcard)
+	hb := host.AddNode("q", "B")
+	host.AddEdge(ha, hb, "ab")
+	if m := StrictEmbedding(path, host); m != nil {
+		t.Fatalf("concrete node strictly embedded onto wildcard host: %v", m)
+	}
+	// Edge labels are strict too.
+	badEdge := New()
+	ba := badEdge.AddNode("p", "A")
+	bb := badEdge.AddNode("q", "B")
+	badEdge.AddEdge(ba, bb, "zz")
+	if m := StrictEmbedding(badEdge, tri); m != nil {
+		t.Fatalf("mismatched edge label embedded: %v", m)
+	}
+}
+
+func TestCommonCore(t *testing.T) {
+	// Two rules sharing a triangle core with different suffixes.
+	q1 := triangle()
+	w1 := q1.AddNode("w", "D")
+	q1.AddEdge(2, w1, "cd")
+
+	q2 := triangle()
+	w2 := q2.AddNode("v", "E")
+	q2.AddEdge(0, w2, "ae")
+
+	core, aMap, bMap, ok := CommonCore(q1, q2, 2)
+	if !ok {
+		t.Fatal("no common core found")
+	}
+	if core.NumNodes() != 3 || core.NumEdges() != 3 {
+		t.Fatalf("core should be the triangle, got %s", core)
+	}
+	// Maps must be label-consistent.
+	for ci := 0; ci < core.NumNodes(); ci++ {
+		if core.Nodes[ci].Label != q1.Nodes[aMap[ci]].Label {
+			t.Fatalf("aMap label mismatch at %d", ci)
+		}
+		if core.Nodes[ci].Label != q2.Nodes[bMap[ci]].Label {
+			t.Fatalf("bMap label mismatch at %d", ci)
+		}
+	}
+	// Disjoint label sets: no core.
+	other := New()
+	o1 := other.AddNode("m", "X")
+	o2 := other.AddNode("n", "Y")
+	other.AddEdge(o1, o2, "xy")
+	if _, _, _, ok := CommonCore(q1, other, 2); ok {
+		t.Fatal("found a core between label-disjoint patterns")
+	}
+	// Identical patterns: the core is the whole pattern.
+	core2, _, _, ok := CommonCore(q1, q1.Clone(), 2)
+	if !ok || core2.NumNodes() != q1.NumNodes() || core2.NumEdges() != q1.NumEdges() {
+		t.Fatalf("self core should be the full pattern, got %v ok=%v", core2, ok)
+	}
+	// The core must be connected: two rules sharing two disconnected
+	// label pairs only yield one pair (plus its edge).
+	d1 := New()
+	d1.AddNode("a", "A")
+	d1.AddNode("b", "B")
+	d1.AddNode("c", "C")
+	d1.AddEdge(0, 1, "ab")
+	d2 := New()
+	d2.AddNode("a2", "A")
+	d2.AddNode("b2", "B")
+	d2.AddNode("c2", "C")
+	d2.AddEdge(0, 1, "ab")
+	core3, _, _, ok := CommonCore(d1, d2, 2)
+	if !ok || core3.NumNodes() != 2 || core3.NumEdges() != 1 {
+		t.Fatalf("disconnected candidates must shrink to a connected core, got %v", core3)
+	}
+}
+
+func TestHasDuplicateEdges(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", "A")
+	b := p.AddNode("b", "B")
+	p.AddEdge(a, b, "ab")
+	if HasDuplicateEdges(p) {
+		t.Fatal("no duplicates yet")
+	}
+	p.AddEdge(a, b, "ab")
+	if !HasDuplicateEdges(p) {
+		t.Fatal("duplicate edge not detected")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	tri := New()
+	a, b, c := tri.AddNode("a", "A"), tri.AddNode("b", "B"), tri.AddNode("c", "C")
+	tri.AddEdge(a, b, "ab")
+	tri.AddEdge(b, c, "bc")
+	tri.AddEdge(a, c, "ac")
+	if !HasCycle(tri) {
+		t.Fatal("triangle not detected as cyclic")
+	}
+	path := New()
+	pa, pb, pc := path.AddNode("a", "A"), path.AddNode("b", "B"), path.AddNode("c", "C")
+	path.AddEdge(pa, pb, "ab")
+	path.AddEdge(pb, pc, "bc")
+	if HasCycle(path) {
+		t.Fatal("path reported cyclic")
+	}
+	// Directions are ignored: two edges between the same endpoints close a
+	// cycle even when anti-parallel or parallel.
+	dup := New()
+	da, db := dup.AddNode("a", "A"), dup.AddNode("b", "B")
+	dup.AddEdge(da, db, "x")
+	dup.AddEdge(db, da, "y")
+	if !HasCycle(dup) {
+		t.Fatal("anti-parallel pair not detected as cyclic")
+	}
+	// Cycle in one component, tree in another: still cyclic even though
+	// total edges < total nodes.
+	mixed := New()
+	ma, mb := mixed.AddNode("a", "A"), mixed.AddNode("b", "B")
+	mixed.AddEdge(ma, mb, "x")
+	mixed.AddEdge(mb, ma, "y")
+	mixed.AddNode("lone1", "L")
+	mixed.AddNode("lone2", "L")
+	if !HasCycle(mixed) {
+		t.Fatal("cycle alongside isolated nodes not detected")
+	}
+}

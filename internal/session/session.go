@@ -376,8 +376,9 @@ func (p *Prepared) run(ctx context.Context, opt validate.Options, sink validate.
 		return validate.DisValB(ctx, b, frag, opt, sink)
 	case validate.EngineGCFD:
 		rules, _ := p.GCFDRules()
-		return single(len(rules), 1, sink, func(s validate.Sink) error {
-			return baseline.DetectB(ctx, b, rules, s)
+		n := opt.Normalized().N
+		return single(len(rules), n, sink, func(s validate.Sink) error {
+			return baseline.DetectB(ctx, b, rules, n, s)
 		})
 	case validate.EngineBigDansing:
 		rel := p.relational(b)

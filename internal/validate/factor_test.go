@@ -1,0 +1,251 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gfd/internal/core"
+	"gfd/internal/gen"
+	"gfd/internal/graph"
+	"gfd/internal/pattern"
+)
+
+// --- fixtures: a ≥4-rule group sharing a triangle core ---------------------
+
+// tailRule builds a rule whose pattern extends the shared triangle core
+// a-[ab]->b-[bc]->c, a-[ac]->c with one extra tail node C-[label]->Tail,
+// plus a VarEq consequence. The core is cyclic, so the structural
+// profitability guard accepts it.
+func tailRule(name, tailLabel, edgeLabel string, lit core.Literal) *core.GFD {
+	q := pattern.New()
+	a := q.AddNode("a", "A")
+	b := q.AddNode("b", "B")
+	c := q.AddNode("c", "C")
+	q.AddEdge(a, b, "ab")
+	q.AddEdge(b, c, "bc")
+	q.AddEdge(a, c, "ac")
+	if tailLabel != "" {
+		t := q.AddNode("t", tailLabel)
+		q.AddEdge(c, t, edgeLabel)
+	}
+	return core.MustNew(name, q, nil, []core.Literal{lit})
+}
+
+// sharedCoreSet is four rules over the same triangle prefix: three with
+// distinct tails (proper-prefix branches) and one that IS the core (a
+// full-coverage branch).
+func sharedCoreSet() *core.Set {
+	return core.MustNewSet(
+		tailRule("r1", "D", "cd", core.VarEq("a", "val", "t", "val")),
+		tailRule("r2", "E", "ce", core.VarEq("b", "val", "t", "val")),
+		tailRule("r3", "F", "cf", core.VarEq("a", "val", "b", "val")),
+		tailRule("r4", "", "", core.VarEq("a", "val", "b", "val")),
+	)
+}
+
+// sharedCoreGraph keeps the six classes the same size so the class-size
+// guard accepts the group, and mixes values so rules both hold and
+// violate.
+func sharedCoreGraph() *graph.Graph {
+	g := graph.New(0, 0)
+	val := func(i int) string { return fmt.Sprintf("v%d", i%3) }
+	for i := 0; i < 5; i++ {
+		a := g.AddNode("A", graph.Attrs{"val": val(i)})
+		b := g.AddNode("B", graph.Attrs{"val": val(i + 1)})
+		c := g.AddNode("C", graph.Attrs{"val": val(i + 2)})
+		g.MustAddEdge(a, b, "ab")
+		g.MustAddEdge(b, c, "bc")
+		g.MustAddEdge(a, c, "ac")
+		d := g.AddNode("D", graph.Attrs{"val": val(i + 1)})
+		e := g.AddNode("E", graph.Attrs{"val": val(i + 1)})
+		f := g.AddNode("F", graph.Attrs{"val": val(i)})
+		g.MustAddEdge(c, d, "cd")
+		g.MustAddEdge(c, e, "ce")
+		g.MustAddEdge(c, f, "cf")
+	}
+	return g
+}
+
+func collectWith(t *testing.T, run func(context.Context, *Bundle, Sink) error, g *graph.Graph, set *core.Set) Report {
+	t.Helper()
+	sink := NewCollectSink(1)
+	if err := run(context.Background(), NewBundle(g, set), sink); err != nil {
+		t.Fatalf("detection failed: %v", err)
+	}
+	r := sink.Report()
+	r.Sort()
+	return r
+}
+
+// --- tests -----------------------------------------------------------------
+
+func TestFactorGroupsFormOnSharedCore(t *testing.T) {
+	b := NewBundle(sharedCoreGraph(), sharedCoreSet())
+	groups := b.factorGroups()
+	var factored *factorGroup
+	for _, g := range groups {
+		if g.core != nil {
+			factored = g
+		}
+	}
+	if factored == nil {
+		t.Fatal("no factorized group formed over a 4-rule shared core")
+	}
+	if len(factored.branches) != 4 {
+		t.Fatalf("group has %d branches, want 4", len(factored.branches))
+	}
+	if factored.core.NumNodes() != 3 || factored.core.NumEdges() != 3 {
+		t.Fatalf("core = %s, want the 3-node triangle prefix", factored.core)
+	}
+	fulls := 0
+	for _, br := range factored.branches {
+		if br.full {
+			fulls++
+		}
+	}
+	if fulls != 1 {
+		t.Fatalf("full-coverage branches = %d, want exactly 1 (r4)", fulls)
+	}
+	// Second call returns the cached slice.
+	if &b.factorGroups()[0].branches[0] != &groups[0].branches[0] {
+		t.Fatal("factor groups not cached per bundle")
+	}
+}
+
+func TestFactorizedMatchesPerRuleOnSharedCore(t *testing.T) {
+	g, set := sharedCoreGraph(), sharedCoreSet()
+	want := collectWith(t, DetVioPerRuleB, g, set)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no violations; test is vacuous")
+	}
+	got := collectWith(t, DetVioB, g, set)
+	if !got.Equal(want) {
+		t.Fatalf("factorized report differs: %d violations, want %d", len(got), len(want))
+	}
+}
+
+// TestFactorizedGuardDecline plants one member whose most selective class
+// (a single G node) lies outside the (cyclic) core: the 4× class-size
+// guard must decline the group, and the per-rule fallback must still
+// produce identical results.
+func TestFactorizedGuardDecline(t *testing.T) {
+	g := sharedCoreGraph()
+	gn := g.AddNode("G", graph.Attrs{"val": "v0"})
+	g.MustAddEdge(2, gn, "cg") // node 2 is the first C
+	set := core.MustNewSet(
+		tailRule("r1", "D", "cd", core.VarEq("a", "val", "t", "val")),
+		tailRule("r5", "G", "cg", core.VarEq("a", "val", "t", "val")),
+	)
+	b := NewBundle(g, set)
+	for _, grp := range b.factorGroups() {
+		if grp.core != nil && len(grp.branches) > 1 {
+			t.Fatal("guard should decline: one member's min class (|G|=1) is far below the core's")
+		}
+	}
+	want := collectWith(t, DetVioPerRuleB, g, set)
+	got := collectWith(t, DetVioB, g, set)
+	if !got.Equal(want) {
+		t.Fatalf("declined-group report differs: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestFactorizedDeclinesTreeCore: rules sharing only an acyclic prefix
+// must NOT factorize — a tree core enumerates in near-constant amortized
+// time per match, so the per-core-match inner-enumeration setup the
+// factorized driver pays would exceed the re-walk it saves. The
+// structural guard declines and the per-rule fallback stays exact.
+func TestFactorizedDeclinesTreeCore(t *testing.T) {
+	pathRule := func(name, tailLabel, edgeLabel string, lit core.Literal) *core.GFD {
+		q := pattern.New()
+		a := q.AddNode("a", "A")
+		b := q.AddNode("b", "B")
+		q.AddEdge(a, b, "ab")
+		if tailLabel != "" {
+			t := q.AddNode("t", tailLabel)
+			q.AddEdge(b, t, edgeLabel)
+		}
+		return core.MustNew(name, q, nil, []core.Literal{lit})
+	}
+	set := core.MustNewSet(
+		pathRule("p1", "D", "bd", core.VarEq("a", "val", "t", "val")),
+		pathRule("p2", "E", "be", core.VarEq("b", "val", "t", "val")),
+		pathRule("p3", "", "", core.VarEq("a", "val", "b", "val")),
+	)
+	g := graph.New(0, 0)
+	val := func(i int) string { return fmt.Sprintf("v%d", i%3) }
+	for i := 0; i < 5; i++ {
+		a := g.AddNode("A", graph.Attrs{"val": val(i)})
+		b := g.AddNode("B", graph.Attrs{"val": val(i + 1)})
+		g.MustAddEdge(a, b, "ab")
+		d := g.AddNode("D", graph.Attrs{"val": val(i)})
+		e := g.AddNode("E", graph.Attrs{"val": val(i)})
+		g.MustAddEdge(b, d, "bd")
+		g.MustAddEdge(b, e, "be")
+	}
+	b := NewBundle(g, set)
+	for _, grp := range b.factorGroups() {
+		if grp.core != nil {
+			t.Fatalf("tree-core group factorized (core %s); acyclic cores must decline", grp.core)
+		}
+	}
+	want := collectWith(t, DetVioPerRuleB, g, set)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no violations; test is vacuous")
+	}
+	got := collectWith(t, DetVioB, g, set)
+	if !got.Equal(want) {
+		t.Fatalf("declined tree-core report differs: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestFactorizedMatchesPerRuleOnMinedWorkloads is the random differential:
+// generated graphs, mined rule sets (which often share cores), factorized
+// vs per-rule must agree violation-for-violation.
+func TestFactorizedMatchesPerRuleOnMinedWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = gen.YAGO2Like(gen.DatasetConfig{Scale: 120, Seed: seed})
+		} else {
+			g = gen.Synthetic(gen.SyntheticConfig{Nodes: 400, Edges: 1200, Seed: seed})
+		}
+		gen.Inject(g, gen.NoiseConfig{Rate: 0.08, Seed: seed + 100})
+		set := gen.MineGFDs(g, gen.MineConfig{NumRules: 8, PatternSize: 4, TwoCompFrac: 0.25, Seed: seed})
+		if set.Len() == 0 {
+			continue
+		}
+		want := collectWith(t, DetVioPerRuleB, g, set)
+		got := collectWith(t, DetVioB, g, set)
+		if !got.Equal(want) {
+			t.Fatalf("seed %d: factorized %d violations, per-rule %d", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestFactorizedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := DetVioB(ctx, NewBundle(sharedCoreGraph(), sharedCoreSet()), NewCollectSink(1))
+	if err == nil {
+		t.Skip("enumeration finished before the first cancellation probe")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFactorizedSinkStop(t *testing.T) {
+	seen := 0
+	err := DetVioB(context.Background(), NewBundle(sharedCoreGraph(), sharedCoreSet()),
+		Callback(func(Violation) bool {
+			seen++
+			return false // refuse after the first violation
+		}))
+	if err != nil {
+		t.Fatalf("sink stop must not error: %v", err)
+	}
+	if seen != 1 {
+		t.Fatalf("sink saw %d violations after stopping at 1", seen)
+	}
+}
