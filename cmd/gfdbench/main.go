@@ -26,12 +26,16 @@ import (
 	"strings"
 	"time"
 
+	"gfd/internal/dist"
 	"gfd/internal/exp"
 )
 
 func main() {
+	// The dist experiment spawns this binary as its worker processes;
+	// when the worker environment is set, become one and never return.
+	dist.MaybeWorker()
 	var (
-		which      = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|coldstart|cyclic|all")
+		which      = flag.String("exp", "all", "fig5a|fig5b|fig5c|fig5sigma|fig5q|fig5comm|fig6|fig7|fig8|fig9|speedup|sessionreuse|incremental|freeze|stream|coldstart|cyclic|dist|all")
 		scale      = flag.Int("scale", 250, "dataset scale")
 		rules      = flag.Int("rules", 8, "rule count ‖Σ‖")
 		qsize      = flag.Int("q", 4, "pattern size |Q| (nodes)")
@@ -169,6 +173,16 @@ func main() {
 			fmt.Println(t)
 			return t
 		},
+		"dist": func() any {
+			t := exp.Dist(base("yago2"), 3)
+			fmt.Println(t)
+			if d, ok := t.Get("dist_procs", "ms"); ok {
+				if s, ok := t.Get("disval_sim", "ms"); ok && d > 0 {
+					fmt.Printf("process-per-shard wall is %.2fx the in-process simulation (real pipes + spawn vs modeled comm)\n\n", d/s)
+				}
+			}
+			return t
+		},
 		"coldstart": func() any {
 			t := exp.Coldstart(base("yago2"), 5)
 			fmt.Println(t)
@@ -229,7 +243,7 @@ func main() {
 	names := []string{*which}
 	if *which == "all" {
 		names = []string{"fig5a", "fig5b", "fig5c", "fig5sigma", "fig5q", "fig5comm",
-			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream", "coldstart", "cyclic"}
+			"fig6", "fig7", "fig8", "fig9", "speedup", "sessionreuse", "incremental", "freeze", "stream", "coldstart", "cyclic", "dist"}
 	}
 	for _, name := range names {
 		f, ok := run[strings.ToLower(name)]

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis|gcfd|bigdansing] [-n 8] [-v] [-stream] [-timeout 30s]
+//	gfdcheck -graph g.graph -rules r.gfd [-mode seq|rep|dis|dist|gcfd|bigdansing] [-n 8] [-v] [-stream] [-timeout 30s]
+//
+// Mode dist runs detection as real worker processes over persisted shards:
+// pass -manifest with the shard manifest written by gfdgen -fragments (the
+// worker count comes from the manifest, not -n). Workers are respawned
+// re-executions of this binary.
 //
 // The graph file uses the line format of package graph (node/edge lines),
 // or — with a .gfds extension — the binary snapshot format written by
@@ -45,15 +50,21 @@ var engines = map[string]gfd.Engine{
 	"seq":        gfd.EngineSequential,
 	"rep":        gfd.EngineReplicated,
 	"dis":        gfd.EngineFragmented,
+	"dist":       gfd.EngineDistributed,
 	"gcfd":       gfd.EngineGCFD,
 	"bigdansing": gfd.EngineBigDansing,
 }
 
 func main() {
+	// This binary doubles as the distributed engine's worker executable:
+	// when spawned with the worker environment set, it becomes a shard
+	// worker here and never reaches flag parsing.
+	gfd.MaybeWorker()
 	var (
 		graphPath = flag.String("graph", "", "graph file (required)")
 		rulesPath = flag.String("rules", "", "GFD rules file (required)")
-		mode      = flag.String("mode", "rep", "engine: seq (detVio), rep (repVal), dis (disVal), gcfd, bigdansing")
+		mode      = flag.String("mode", "rep", "engine: seq (detVio), rep (repVal), dis (disVal), dist (multi-process over shards), gcfd, bigdansing")
+		manifest  = flag.String("manifest", "", "shard manifest written by gfdgen -fragments (required for -mode dist)")
 		workers   = flag.Int("n", 8, "workers for the parallel engines")
 		verbose   = flag.Bool("v", false, "print each violation")
 		stream    = flag.Bool("stream", false, "pull violations from the iterator pipeline as they are found instead of collecting a report (implies -v; prints time-to-first-violation)")
@@ -69,6 +80,9 @@ func main() {
 	engine, ok := engines[*mode]
 	if !ok {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *mode == "dist" && *manifest == "" {
+		fatal(errors.New("-mode dist requires -manifest (write one with gfdgen -fragments)"))
 	}
 
 	// A .gfds graph is opened straight off its read-only mapping: no text
@@ -138,6 +152,9 @@ func main() {
 		defer cancel()
 	}
 	opt := gfd.Options{Engine: engine, N: *workers}
+	if *mode == "dist" {
+		opt.Dist = &gfd.DistOptions{ManifestPath: *manifest}
+	}
 
 	rev := make(map[gfd.NodeID]string, len(names))
 	for name, id := range names {
@@ -186,19 +203,13 @@ func main() {
 			fmt.Printf("time to first violation: %v (full stream %v)\n", firstAt.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 		}
 		if streamErr != nil {
-			partial = reportDetectError(streamErr, *timeout)
-			c := res.Completeness
-			fmt.Fprintf(os.Stderr, "gfdcheck: completeness: %d/%d units succeeded, %d retries, %d worker deaths, %d recovery rounds\n",
-				c.Succeeded, c.Units, c.Retries, c.WorkerDeaths, c.RecoveryRounds)
+			partial = reportDetectError(streamErr, *timeout, res.Completeness)
 		}
 		nViolations = count
 	} else {
 		res, err := prep.Detect(ctx, opt)
 		if err != nil {
-			partial = reportDetectError(err, *timeout)
-			c := res.Completeness
-			fmt.Fprintf(os.Stderr, "gfdcheck: completeness: %d/%d units succeeded, %d retries, %d worker deaths, %d recovery rounds\n",
-				c.Succeeded, c.Units, c.Retries, c.WorkerDeaths, c.RecoveryRounds)
+			partial = reportDetectError(err, *timeout, res.Completeness)
 		}
 		switch engine {
 		case gfd.EngineReplicated:
@@ -206,6 +217,10 @@ func main() {
 		case gfd.EngineFragmented:
 			fmt.Printf("disVal: %d units, shipped %d bytes, comm %v, total %v\n",
 				res.Units, res.BytesShipped, res.Comm.Round(0), res.TotalTime().Round(0))
+		case gfd.EngineDistributed:
+			// The worker-process count comes from the manifest, not -n.
+			fmt.Printf("dist: %d units, shipped %d bytes in %d frames, wall %v (modeled %v)\n",
+				res.Units, res.BytesShipped, res.Messages, res.Wall.Round(0), res.ModeledTime().Round(0))
 		case gfd.EngineGCFD:
 			fmt.Printf("gcfd: %d of %d rules expressible, wall %v\n", res.Rules, set.Len(), res.Wall.Round(0))
 		}
@@ -227,12 +242,19 @@ func main() {
 	}
 }
 
-// reportDetectError classifies a Detect/Violations error. A partial result
-// (retry budgets exhausted under worker failures) is reported and returns
-// true — the violations that were found are still printed, and the final
-// exit status reflects the gap. Every other cause terminates: deadline
-// expiry (exit 3), user interruption (exit 130), engine failure (exit 2).
-func reportDetectError(err error, timeout time.Duration) bool {
+// reportDetectError classifies a Detect/Violations error, printing the
+// completeness census FIRST — an interrupted or timed-out operator must
+// still learn how much of the workload actually ran before the process
+// exits. A partial result (retry budgets exhausted under worker failures)
+// returns true — the violations that were found are still printed, and
+// the final exit status reflects the gap. Note ErrPartial is classified
+// before the context errors: a distributed run whose unit failures wrap
+// deadline kills is a partial result, not a -timeout expiry. Every other
+// cause terminates: deadline expiry (exit 3), user interruption (exit
+// 130), engine failure (exit 2).
+func reportDetectError(err error, timeout time.Duration, c gfd.Completeness) bool {
+	fmt.Fprintf(os.Stderr, "gfdcheck: completeness: %d/%d units succeeded, %d retries, %d worker deaths, %d recovery rounds\n",
+		c.Succeeded, c.Units, c.Retries, c.WorkerDeaths, c.RecoveryRounds)
 	switch {
 	case errors.Is(err, gfd.ErrPartial):
 		var pe *gfd.PartialError

@@ -4,13 +4,17 @@
 // Usage:
 //
 //	gfdgen -dataset yago2 -scale 500 -out g.graph [-rules r.gfd -nrules 10]
-//	       [-noise 0.02] [-seed 1] [-snapshot g.gfds]
+//	       [-noise 0.02] [-seed 1] [-snapshot g.gfds] [-fragments 4 [-strategy hash]]
 //
 // With -rules set, rules are mined on the *clean* graph before noise is
 // injected, matching the evaluation methodology of the paper (Section 7).
 // With -snapshot set, the final graph (after noise) is also frozen and
 // saved in the binary snapshot format, which gfdcheck and gfdbench open
 // without rebuilding; at least one of -out / -snapshot is required.
+// With -fragments n (requires -snapshot), the frozen graph is additionally
+// persisted as n per-fragment shards plus a shard manifest next to the
+// snapshot — the input of gfdcheck -mode dist, whose worker processes each
+// mmap their own shard.
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"gfd"
 	"gfd/internal/gen"
@@ -37,11 +43,16 @@ func main() {
 		noise   = flag.Float64("noise", 0, "attribute-noise rate to inject after mining")
 		skew    = flag.Float64("skew", 0.5, "degree skew for synthetic graphs")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
+		frags   = flag.Int("fragments", 0, "also persist the snapshot as this many per-fragment shards + manifest (requires -snapshot)")
+		strat   = flag.String("strategy", "hash", "shard ownership strategy: hash | range")
 	)
 	flag.Parse()
 	if *out == "" && *snap == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *frags > 0 && *snap == "" {
+		fatal(fmt.Errorf("-fragments requires -snapshot (shards live next to the snapshot file)"))
 	}
 
 	var g *graph.Graph
@@ -85,6 +96,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote snapshot %s\n", *snap)
+	}
+	if *frags > 0 {
+		dir := filepath.Dir(*snap)
+		prefix := strings.TrimSuffix(filepath.Base(*snap), ".gfds")
+		mp, err := gfd.WriteShards(g, *frags, *strat, dir, prefix)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d %s-partitioned shards + manifest %s\n", *frags, *strat, mp)
 	}
 }
 

@@ -71,6 +71,7 @@ import (
 
 	"gfd/internal/cluster"
 	"gfd/internal/core"
+	"gfd/internal/dist"
 	"gfd/internal/fault"
 	"gfd/internal/fragment"
 	"gfd/internal/gen"
@@ -148,6 +149,11 @@ type (
 	PartialError = validate.PartialError
 	// UnitFailure is one abandoned work unit inside a PartialError.
 	UnitFailure = validate.UnitFailure
+	// DistOptions configures EngineDistributed (Options.Dist): the shard
+	// manifest to execute over, the worker spawn command, and the
+	// process-supervision knobs (heartbeat, handshake timeout, respawn
+	// budget).
+	DistOptions = validate.DistOptions
 	// WorkerError is a recovered worker panic: worker id, unit id, panic
 	// value, and the goroutine stack at recovery.
 	WorkerError = cluster.WorkerError
@@ -186,6 +192,11 @@ const (
 	EngineFragmented = validate.EngineFragmented
 	EngineGCFD       = validate.EngineGCFD
 	EngineBigDansing = validate.EngineBigDansing
+	// EngineDistributed runs detection as real worker processes over
+	// persisted shards (Options.Dist names the manifest). Any binary
+	// embedding this package that may act as the spawn target must call
+	// dist.MaybeWorker first thing in main.
+	EngineDistributed = validate.EngineDistributed
 )
 
 // Failure-semantics errors (see README "Failure semantics"): ErrPartial
@@ -209,6 +220,24 @@ const (
 // NewFaultPlan returns an empty fault plan tagged with a seed; chain
 // KillWorker / DelayUnit / PanicAt and set it as Options.Inject. Testing
 // only — production leaves Options.Inject nil and pays nothing.
+// MaybeWorker turns the current process into an EngineDistributed worker
+// when it was spawned as one (recognized by environment, not flags), never
+// returning in that case. Call it first thing in main of any binary that
+// may serve as the distributed engine's spawn target.
+func MaybeWorker() { dist.MaybeWorker() }
+
+// WriteShards persists g's frozen snapshot as n per-fragment shards plus a
+// shard manifest under dir (files <prefix>.<i>.gfds, <prefix>.manifest),
+// partitioned by strategy name ("hash" or "range"). The returned manifest
+// path is what Options.Dist.ManifestPath takes.
+func WriteShards(g *Graph, n int, strategy, dir, prefix string) (string, error) {
+	s, err := fragment.ParseStrategy(strategy)
+	if err != nil {
+		return "", err
+	}
+	return dist.WriteShards(g.Freeze(), n, s, dir, prefix)
+}
+
 func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
 
 // FaultPlanFromSeed derives a pseudo-random recoverable fault plan — the

@@ -1,0 +1,445 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gfd/internal/core"
+	"gfd/internal/fault"
+	"gfd/internal/graph"
+	"gfd/internal/validate"
+)
+
+// The wire protocol: every frame is a u32 little-endian payload length, a
+// u8 frame type, then the payload. Strings are u32 length + bytes; node
+// IDs travel as u64 (NodeIDs are global — every shard shares the full
+// node table, so no translation happens at either end). The protocol is
+// deliberately version-checked in the HELLO and bounded by maxFrame: a
+// torn or garbage frame must become a typed error (and a worker-death
+// event), never a giant allocation or a misread.
+
+const (
+	protoVersion = 1
+	// maxFrame bounds one frame's payload. Halo sections dominate frame
+	// size; a frame above this is protocol corruption, not data.
+	maxFrame = 64 << 20
+	// frameOverhead is the header cost charged per frame against the
+	// modeled cost model (length + type).
+	frameOverhead = 5
+)
+
+// Frame types.
+const (
+	fHello     byte = iota + 1 // coordinator -> worker: identity, rules, shard path
+	fReady                     // worker -> coordinator: shard opened, groups rebuilt
+	fAssign                    // coordinator -> worker: one unit + halo
+	fVio                       // worker -> coordinator: violation batch
+	fDone                      // worker -> coordinator: unit finished
+	fHeartbeat                 // worker -> coordinator: liveness
+	fShutdown                  // coordinator -> worker: drain and report census
+	fCensus                    // worker -> coordinator: final tallies
+)
+
+// ---- encoding -------------------------------------------------------------
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)  { w.u64(uint64(v)) }
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *rbuf) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) i64() int64 { return int64(r.u64()) }
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a u32 element count and sanity-bounds it by the remaining
+// payload (each element costs at least `min` bytes), so a corrupt count
+// cannot drive a huge allocation.
+func (r *rbuf) count(min int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n < 0 || n*min > len(r.b)-r.off {
+		r.fail("count")
+		return 0
+	}
+	return n
+}
+
+// ---- frame I/O ------------------------------------------------------------
+
+// frameWriter serializes frames onto one pipe. The mutex makes it safe
+// for the worker's heartbeat goroutine and unit loop to interleave; the
+// injector hook is the worker-side PipeFrame fault site — a stall sleeps
+// while *holding* the writer (starving heartbeats, which is the point),
+// and a truncation writes a prefix and hands control to onTruncate (the
+// worker exits there, mid-frame, like a real crash during a write).
+type frameWriter struct {
+	mu         sync.Mutex
+	w          *bufio.Writer
+	inj        *fault.Injector
+	worker     int
+	onTruncate func()
+}
+
+func (fw *frameWriter) write(typ byte, payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if fw.inj != nil {
+		stall, trunc := fw.inj.CrossPipe(fw.worker)
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if trunc && fw.onTruncate != nil {
+			fw.w.Write(hdr[:])
+			fw.w.Write(payload[:len(payload)/2])
+			fw.w.Flush()
+			fw.onTruncate() // does not return
+		}
+	}
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// frameReader deserializes frames off one pipe.
+type frameReader struct {
+	r *bufio.Reader
+}
+
+// read returns the next frame. io.EOF (clean close between frames) and
+// io.ErrUnexpectedEOF (torn frame) both surface as errors; the caller
+// treats any error as end-of-peer.
+func (fr *frameReader) read() (byte, []byte, error) {
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("dist: torn frame header: %w", err)
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("dist: torn frame payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// ---- messages -------------------------------------------------------------
+
+type helloMsg struct {
+	proto     uint32
+	worker    int
+	workers   int
+	numNodes  int
+	heartbeat time.Duration
+	combine   bool
+	arbPivot  bool
+	shardPath string
+	rules     string // core.WriteRules serialization of the effective set
+	groups    int    // coordinator's group count, sanity-checked worker-side
+}
+
+func encodeHello(h helloMsg) []byte {
+	var w wbuf
+	w.u32(protoVersion)
+	w.u32(uint32(h.worker))
+	w.u32(uint32(h.workers))
+	w.u64(uint64(h.numNodes))
+	w.i64(int64(h.heartbeat))
+	var flags byte
+	if h.combine {
+		flags |= 1
+	}
+	if h.arbPivot {
+		flags |= 2
+	}
+	w.u8(flags)
+	w.str(h.shardPath)
+	w.str(h.rules)
+	w.u32(uint32(h.groups))
+	return w.b
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	r := rbuf{b: b}
+	h := helloMsg{proto: r.u32()}
+	h.worker = int(r.u32())
+	h.workers = int(r.u32())
+	h.numNodes = int(r.u64())
+	h.heartbeat = time.Duration(r.i64())
+	flags := r.u8()
+	h.combine = flags&1 != 0
+	h.arbPivot = flags&2 != 0
+	h.shardPath = r.str()
+	h.rules = r.str()
+	h.groups = int(r.u32())
+	return h, r.err
+}
+
+type readyMsg struct {
+	numNodes int
+	groups   int
+}
+
+func encodeReady(m readyMsg) []byte {
+	var w wbuf
+	w.u64(uint64(m.numNodes))
+	w.u32(uint32(m.groups))
+	return w.b
+}
+
+func decodeReady(b []byte) (readyMsg, error) {
+	r := rbuf{b: b}
+	m := readyMsg{numNodes: int(r.u64()), groups: int(r.u32())}
+	return m, r.err
+}
+
+// haloNode is one non-owned block node shipped to a worker: its attribute
+// tuple and full adjacency, as strings (symbol codes are identical across
+// shards by construction, but strings keep the protocol independent of
+// that invariant — the overlay re-interns to the same codes either way).
+type haloNode struct {
+	id    graph.NodeID
+	attrs [][2]string
+	out   []haloEdge // id -> To
+	in    []haloEdge // To -> id
+}
+
+type haloEdge struct {
+	to    graph.NodeID
+	label string
+}
+
+type assignMsg struct {
+	unit validate.DistUnit
+	skip int64
+	halo []haloNode
+}
+
+func encodeAssign(m assignMsg) []byte {
+	var w wbuf
+	w.u32(uint32(m.unit.ID))
+	w.u32(uint32(m.unit.Group))
+	w.u32(uint32(m.unit.StripeMod))
+	w.u32(uint32(m.unit.StripeRem))
+	w.u64(uint64(m.unit.BlockSize))
+	w.u64(uint64(m.skip))
+	w.u32(uint32(len(m.unit.Candidates)))
+	for _, c := range m.unit.Candidates {
+		w.u64(uint64(c))
+	}
+	w.u32(uint32(len(m.halo)))
+	for _, h := range m.halo {
+		w.u64(uint64(h.id))
+		w.u32(uint32(len(h.attrs)))
+		for _, kv := range h.attrs {
+			w.str(kv[0])
+			w.str(kv[1])
+		}
+		w.u32(uint32(len(h.out)))
+		for _, e := range h.out {
+			w.u64(uint64(e.to))
+			w.str(e.label)
+		}
+		w.u32(uint32(len(h.in)))
+		for _, e := range h.in {
+			w.u64(uint64(e.to))
+			w.str(e.label)
+		}
+	}
+	return w.b
+}
+
+func decodeAssign(b []byte) (assignMsg, error) {
+	r := rbuf{b: b}
+	var m assignMsg
+	m.unit.ID = int(r.u32())
+	m.unit.Group = int(r.u32())
+	m.unit.StripeMod = int(r.u32())
+	m.unit.StripeRem = int(r.u32())
+	m.unit.BlockSize = int(r.u64())
+	m.skip = r.i64()
+	nc := r.count(8)
+	m.unit.Candidates = make([]graph.NodeID, nc)
+	for i := range m.unit.Candidates {
+		m.unit.Candidates[i] = graph.NodeID(r.u64())
+	}
+	nh := r.count(8)
+	m.halo = make([]haloNode, 0, nh)
+	for i := 0; i < nh && r.err == nil; i++ {
+		var h haloNode
+		h.id = graph.NodeID(r.u64())
+		na := r.count(8)
+		h.attrs = make([][2]string, na)
+		for j := range h.attrs {
+			h.attrs[j][0] = r.str()
+			h.attrs[j][1] = r.str()
+		}
+		no := r.count(12)
+		h.out = make([]haloEdge, no)
+		for j := range h.out {
+			h.out[j] = haloEdge{to: graph.NodeID(r.u64()), label: r.str()}
+		}
+		ni := r.count(12)
+		h.in = make([]haloEdge, ni)
+		for j := range h.in {
+			h.in[j] = haloEdge{to: graph.NodeID(r.u64()), label: r.str()}
+		}
+		m.halo = append(m.halo, h)
+	}
+	return m, r.err
+}
+
+type vioMsg struct {
+	unit int
+	vios []validate.Violation
+}
+
+func encodeVio(m vioMsg) []byte {
+	var w wbuf
+	w.u32(uint32(m.unit))
+	w.u32(uint32(len(m.vios)))
+	for _, v := range m.vios {
+		w.str(v.Rule)
+		w.u32(uint32(len(v.Match)))
+		for _, id := range v.Match {
+			w.u64(uint64(id))
+		}
+	}
+	return w.b
+}
+
+func decodeVio(b []byte) (vioMsg, error) {
+	r := rbuf{b: b}
+	var m vioMsg
+	m.unit = int(r.u32())
+	n := r.count(8)
+	m.vios = make([]validate.Violation, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var v validate.Violation
+		v.Rule = r.str()
+		nm := r.count(8)
+		v.Match = make(core.Match, nm)
+		for j := range v.Match {
+			v.Match[j] = graph.NodeID(r.u64())
+		}
+		m.vios = append(m.vios, v)
+	}
+	return m, r.err
+}
+
+type doneMsg struct {
+	unit      int
+	found     int64 // violations enumerated, including skipped ones
+	delivered int64 // violations emitted this attempt (after skip)
+	wall      time.Duration
+}
+
+func encodeDone(m doneMsg) []byte {
+	var w wbuf
+	w.u32(uint32(m.unit))
+	w.i64(m.found)
+	w.i64(m.delivered)
+	w.i64(int64(m.wall))
+	return w.b
+}
+
+func decodeDone(b []byte) (doneMsg, error) {
+	r := rbuf{b: b}
+	m := doneMsg{unit: int(r.u32()), found: r.i64(), delivered: r.i64(), wall: time.Duration(r.i64())}
+	return m, r.err
+}
+
+type censusMsg struct {
+	unitsRun  int64
+	delivered int64
+}
+
+func encodeCensus(m censusMsg) []byte {
+	var w wbuf
+	w.i64(m.unitsRun)
+	w.i64(m.delivered)
+	return w.b
+}
+
+func decodeCensus(b []byte) (censusMsg, error) {
+	r := rbuf{b: b}
+	m := censusMsg{unitsRun: r.i64(), delivered: r.i64()}
+	return m, r.err
+}

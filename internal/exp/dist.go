@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"gfd/internal/dist"
+	"gfd/internal/fragment"
+	"gfd/internal/gen"
+	"gfd/internal/store"
+	"gfd/internal/validate"
+)
+
+// DistWorkers is the shard/worker-process count the dist experiment runs.
+const DistWorkers = 4
+
+// Dist measures the real shared-nothing runtime against its in-process
+// simulation: the same workload runs once through disVal (simulated
+// fragments, one OS process) and once through the multi-process engine
+// (one worker process per persisted shard, mmap'd cold, halo shipping
+// over pipes). Both rows report measured wall clock, real shipment bytes,
+// and the modeled-span oracle (max per-worker busy time + modeled comm) —
+// the differential the chaos suite pins byte-exactly is asserted here
+// too: the run panics if the two violation sets diverge.
+//
+// The dist row starts cold by contract: each round re-opens the full
+// snapshot read-only and every worker mmaps its own shard, and the run
+// panics if the coordinator ever builds a snapshot (the zero-build pin
+// from the coldstart experiment, extended across process spawn).
+//
+// Metrics are the best of `rounds` measurements: process spawn races the
+// OS scheduler and page cache, and a real regression survives a minimum.
+func Dist(c Config, rounds int) Table {
+	c = c.Defaults()
+	if rounds <= 0 {
+		rounds = 3
+	}
+	// Reshape as coldstart does: a bigger graph so per-unit work dwarfs
+	// process-spawn noise, small patterns and heavy noise so the violation
+	// set is non-empty and the differential below means something (the run
+	// panics on a vacuous workload).
+	c.Scale *= 2
+	c.PatternSize = 4
+	if c.Rules < 12 {
+		c.Rules = 12
+	}
+	if c.NoiseRate < 0.4 {
+		c.NoiseRate = 0.4
+	}
+	ctx := context.Background()
+
+	// Untimed setup: materialize the workload, persist the full snapshot
+	// and the per-fragment shards + manifest.
+	dir, err := os.MkdirTemp("", "gfd-dist-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	clean := c.cleanGraph()
+	set := c.Mine(clean)
+	gen.Inject(clean, gen.NoiseConfig{Rate: c.NoiseRate, Seed: c.Seed + 1})
+	snapPath := dir + "/g.gfds"
+	if err := store.Save(ctx, clean.Freeze(), snapPath); err != nil {
+		panic(err)
+	}
+	manifest, err := dist.WriteShards(clean.Freeze(), DistWorkers, fragment.Hash, dir, "g")
+	if err != nil {
+		panic(err)
+	}
+
+	type sample struct {
+		wallMS, modeledMS, shippedKB, frames, violations float64
+	}
+	min := func(a, b sample) sample {
+		return sample{
+			wallMS:     math.Min(a.wallMS, b.wallMS),
+			modeledMS:  math.Min(a.modeledMS, b.modeledMS),
+			shippedKB:  math.Min(a.shippedKB, b.shippedKB),
+			frames:     math.Min(a.frames, b.frames),
+			violations: math.Min(a.violations, b.violations),
+		}
+	}
+	toSample := func(res *validate.Result, wall time.Duration) sample {
+		return sample{
+			wallMS:     wall.Seconds() * 1000,
+			modeledMS:  res.ModeledTime().Seconds() * 1000,
+			shippedKB:  float64(res.BytesShipped) / 1024,
+			frames:     float64(res.Messages),
+			violations: float64(len(res.Violations)),
+		}
+	}
+
+	inf := sample{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}
+	disBest, distBest := inf, inf
+	for i := 0; i < rounds; i++ {
+		// In-process fragmented engine: the simulation the runtime mirrors.
+		// Cold from the snapshot file, like the dist row.
+		l, err := store.Open(ctx, snapPath)
+		if err != nil {
+			panic(err)
+		}
+		g := l.Snapshot().Graph()
+		b := validate.NewBundle(g, set)
+		frag := fragment.Partition(g, DistWorkers, fragment.Hash)
+		start := time.Now()
+		disRes, err := validate.DisValB(ctx, b, frag, validate.Options{N: DistWorkers, Seed: c.Seed}, nil)
+		if err != nil {
+			panic(err)
+		}
+		disBest = min(disBest, toSample(disRes, time.Since(start)))
+		l.Close()
+
+		// Multi-process runtime: cold open of the full snapshot for the
+		// coordinator, worker processes mmapping their shards.
+		l, err = store.Open(ctx, snapPath)
+		if err != nil {
+			panic(err)
+		}
+		g = l.Snapshot().Graph()
+		b = validate.NewBundle(g, set)
+		opt := validate.Options{
+			Seed: c.Seed,
+			Dist: &validate.DistOptions{ManifestPath: manifest},
+		}
+		start = time.Now()
+		distRes, err := dist.DetectB(ctx, b, opt, nil)
+		if err != nil {
+			panic(err)
+		}
+		distBest = min(distBest, toSample(distRes, time.Since(start)))
+		if builds := g.SnapshotBuilds(); builds != 0 {
+			panic(fmt.Sprintf("dist coordinator built %d snapshots; the cold mmap contract is broken", builds))
+		}
+		if len(disRes.Violations) == 0 {
+			panic("dist workload produced no violations; the differential is vacuous")
+		}
+		if !distRes.Violations.Equal(disRes.Violations) {
+			panic(fmt.Sprintf("dist run diverged from in-process disVal: %d vs %d violations",
+				len(distRes.Violations), len(disRes.Violations)))
+		}
+		if !distRes.Completeness.Complete() {
+			panic(fmt.Sprintf("fault-free dist run incomplete: %+v", distRes.Completeness))
+		}
+		l.Close()
+	}
+
+	return Table{
+		Title: fmt.Sprintf("Dist — multi-process shards vs in-process simulation (%s, n=%d)",
+			c.Dataset, DistWorkers),
+		XLabel: "engine",
+		Series: []string{"ms", "modeled_ms", "shipped_kb", "frames", "violations", "snapshot_builds"},
+		Rows: []Row{
+			{X: "disval_sim", Cells: map[string]float64{
+				"ms": disBest.wallMS, "modeled_ms": disBest.modeledMS,
+				"shipped_kb": disBest.shippedKB, "frames": disBest.frames,
+				"violations": disBest.violations}},
+			{X: "dist_procs", Cells: map[string]float64{
+				"ms": distBest.wallMS, "modeled_ms": distBest.modeledMS,
+				"shipped_kb": distBest.shippedKB, "frames": distBest.frames,
+				"violations": distBest.violations, "snapshot_builds": 0}},
+		},
+	}
+}

@@ -42,6 +42,8 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -61,6 +63,15 @@ const (
 	Ship
 	// FreezeShard is crossed once per parallel-freeze shard task.
 	FreezeShard
+	// ProcUnit is crossed by a worker *process* starting an assigned unit
+	// (internal/dist). Unlike UnitStart it never panics: the query API
+	// (Injector.ProcKill) reports whether the process should exit, so the
+	// child controls its own exit status.
+	ProcUnit
+	// PipeFrame is crossed once per outbound wire frame a worker process
+	// writes (internal/dist). Queried via Injector.CrossPipe for stall and
+	// truncation faults.
+	PipeFrame
 
 	numSites
 )
@@ -78,6 +89,10 @@ func (s Site) String() string {
 		return "ship"
 	case FreezeShard:
 		return "freeze-shard"
+	case ProcUnit:
+		return "proc-unit"
+	case PipeFrame:
+		return "pipe-frame"
 	}
 	return "unknown"
 }
@@ -103,6 +118,9 @@ const (
 	actKill action = iota
 	actDelay
 	actPanic
+	actKillProc // process exits at the k-th unit it starts
+	actStall    // frame write stalls (holding the writer) before the k-th frame
+	actTruncate // the k-th frame is written truncated and the process exits
 )
 
 // rule is one declarative fault of a plan.
@@ -159,6 +177,33 @@ func (p *Plan) PanicAt(site Site, n int) *Plan {
 	return p
 }
 
+// KillProcess makes worker *process* w exit when it starts its k-th
+// assigned unit (0-based). Unlike KillWorker it does not panic: the worker
+// queries Injector.ProcKill at unit start and exits with a distinct status,
+// which is what a SIGKILLed or crashed child looks like to the coordinator.
+func (p *Plan) KillProcess(w, k int) *Plan {
+	p.rules = append(p.rules, rule{act: actKillProc, site: ProcUnit, worker: w, nth: int64(k) + 1})
+	return p
+}
+
+// StallPipe makes worker process w sleep d before writing its k-th
+// outbound wire frame (0-based), while holding the frame writer — so
+// heartbeats starve too and the coordinator's liveness monitor must kill
+// the process. The sleep fires once per armed injector.
+func (p *Plan) StallPipe(w, k int, d time.Duration) *Plan {
+	p.rules = append(p.rules, rule{act: actStall, site: PipeFrame, worker: w, nth: int64(k) + 1, delay: d})
+	return p
+}
+
+// TruncateMessage makes worker process w write only a prefix of its k-th
+// outbound frame (0-based) and then exit: a torn frame is what death
+// mid-write looks like, and the coordinator must drop the partial frame
+// rather than decode garbage.
+func (p *Plan) TruncateMessage(w, k int) *Plan {
+	p.rules = append(p.rules, rule{act: actTruncate, site: PipeFrame, worker: w, nth: int64(k) + 1})
+	return p
+}
+
 // Len returns the number of faults in the plan.
 func (p *Plan) Len() int {
 	if p == nil {
@@ -181,9 +226,110 @@ func (p *Plan) String() string {
 			s += fmt.Sprintf(", delay(u%d,%v)", r.unit, r.delay)
 		case actPanic:
 			s += fmt.Sprintf(", panic(%s#%d)", r.site, r.nth)
+		case actKillProc:
+			s += fmt.Sprintf(", killproc(w%d@unit#%d)", r.worker, r.nth-1)
+		case actStall:
+			s += fmt.Sprintf(", stall(w%d@frame#%d,%v)", r.worker, r.nth-1, r.delay)
+		case actTruncate:
+			s += fmt.Sprintf(", trunc(w%d@frame#%d)", r.worker, r.nth-1)
 		}
 	}
 	return s + "}"
+}
+
+// Encode serializes the plan into a compact single-line form suitable for
+// an environment variable — how the coordinator arms a seeded plan inside a
+// worker child so process faults replay deterministically. DecodePlan is
+// the inverse. A nil or empty plan encodes to "".
+func (p *Plan) Encode() string {
+	if p == nil || len(p.rules) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("v1;seed=%d", p.seed)
+	for _, r := range p.rules {
+		switch r.act {
+		case actKill:
+			s += fmt.Sprintf(";kill,%d,%d", r.worker, r.nth)
+		case actDelay:
+			s += fmt.Sprintf(";delay,%d,%d", r.unit, int64(r.delay))
+		case actPanic:
+			s += fmt.Sprintf(";panic,%d,%d", uint8(r.site), r.nth)
+		case actKillProc:
+			s += fmt.Sprintf(";killproc,%d,%d", r.worker, r.nth)
+		case actStall:
+			s += fmt.Sprintf(";stall,%d,%d,%d", r.worker, r.nth, int64(r.delay))
+		case actTruncate:
+			s += fmt.Sprintf(";trunc,%d,%d", r.worker, r.nth)
+		}
+	}
+	return s
+}
+
+// DecodePlan parses a Plan.Encode string. "" decodes to nil (no plan).
+func DecodePlan(s string) (*Plan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Split(s, ";")
+	if fields[0] != "v1" {
+		return nil, fmt.Errorf("fault: unknown plan encoding %q", fields[0])
+	}
+	p := &Plan{}
+	for _, f := range fields[1:] {
+		if seed, ok := strings.CutPrefix(f, "seed="); ok {
+			v, err := strconv.ParseInt(seed, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad plan seed %q", seed)
+			}
+			p.seed = v
+			continue
+		}
+		parts := strings.Split(f, ",")
+		args := make([]int64, 0, 3)
+		for _, a := range parts[1:] {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad plan field %q", f)
+			}
+			args = append(args, v)
+		}
+		bad := func() (*Plan, error) { return nil, fmt.Errorf("fault: bad plan field %q", f) }
+		switch parts[0] {
+		case "kill":
+			if len(args) != 2 {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actKill, site: UnitStart, worker: int(args[0]), nth: args[1]})
+		case "delay":
+			if len(args) != 2 {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actDelay, site: UnitStart, unit: int(args[0]), delay: time.Duration(args[1])})
+		case "panic":
+			if len(args) != 2 || args[0] < 0 || args[0] >= int64(numSites) {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actPanic, site: Site(args[0]), nth: args[1]})
+		case "killproc":
+			if len(args) != 2 {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actKillProc, site: ProcUnit, worker: int(args[0]), nth: args[1]})
+		case "stall":
+			if len(args) != 3 {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actStall, site: PipeFrame, worker: int(args[0]), nth: args[1], delay: time.Duration(args[2])})
+		case "trunc":
+			if len(args) != 2 {
+				return bad()
+			}
+			p.rules = append(p.rules, rule{act: actTruncate, site: PipeFrame, worker: int(args[0]), nth: args[1]})
+		default:
+			return bad()
+		}
+	}
+	return p, nil
 }
 
 // FromSeed derives a pseudo-random recoverable plan for a run with the
@@ -216,6 +362,37 @@ func FromSeed(seed int64, workers, units int) *Plan {
 	return p
 }
 
+// FromSeedProc derives a pseudo-random *recoverable* process-fault plan
+// for a distributed run: one or two faults drawn from process kills, pipe
+// stalls, truncated frames, and unit delays. Stall durations are far above
+// any sane heartbeat interval, so the coordinator's liveness monitor —
+// not the sleep expiring — is what ends the stalled process. Like
+// FromSeed, the same seed always yields the same plan.
+func FromSeedProc(seed int64, workers, units int) *Plan {
+	if workers < 1 {
+		workers = 1
+	}
+	if units < 1 {
+		units = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan(seed)
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			p.KillProcess(rng.Intn(workers), rng.Intn(3))
+		case 1:
+			p.StallPipe(rng.Intn(workers), rng.Intn(6), 30*time.Second)
+		case 2:
+			p.TruncateMessage(rng.Intn(workers), rng.Intn(6))
+		case 3:
+			p.DelayUnit(rng.Intn(units), time.Duration(1+rng.Intn(4))*time.Millisecond)
+		}
+	}
+	return p
+}
+
 // armedRule is one rule plus its fired latch.
 type armedRule struct {
 	rule
@@ -231,6 +408,8 @@ type Injector struct {
 	rules      []*armedRule
 	siteCounts [numSites]atomic.Int64
 	workerUnit []atomic.Int64 // UnitStart crossings per worker
+	procUnit   []atomic.Int64 // ProcUnit crossings per worker process
+	pipeFrames []atomic.Int64 // PipeFrame crossings per worker process
 }
 
 // Arm binds the plan to a run with the given worker count, resetting every
@@ -243,7 +422,12 @@ func (p *Plan) Arm(workers int) *Injector {
 	if workers < 1 {
 		workers = 1
 	}
-	in := &Injector{plan: p, workerUnit: make([]atomic.Int64, workers)}
+	in := &Injector{
+		plan:       p,
+		workerUnit: make([]atomic.Int64, workers),
+		procUnit:   make([]atomic.Int64, workers),
+		pipeFrames: make([]atomic.Int64, workers),
+	}
 	in.rules = make([]*armedRule, len(p.rules))
 	for i := range p.rules {
 		in.rules[i] = &armedRule{rule: p.rules[i]}
@@ -293,6 +477,65 @@ func (in *Injector) Cross(site Site, worker, unit int) {
 			}
 		}
 	}
+}
+
+// ProcKill is the worker-process injection point for KillProcess rules:
+// the child calls it when starting an assigned unit and exits (with a
+// distinct status) when it returns true. It never panics — the caller owns
+// the exit — and a nil receiver reports false. The delay rules of the plan
+// (DelayUnit) still fire through Cross(UnitStart, ...); ProcKill counts a
+// separate per-process ordinal so an in-process KillWorker plan and a
+// process-kill plan don't alias.
+func (in *Injector) ProcKill(worker, unit int) bool {
+	if in == nil {
+		return false
+	}
+	in.siteCounts[ProcUnit].Add(1)
+	var wn int64
+	if worker >= 0 && worker < len(in.procUnit) {
+		wn = in.procUnit[worker].Add(1)
+	}
+	for _, r := range in.rules {
+		if r.act != actKillProc || r.fired.Load() {
+			continue
+		}
+		if worker == r.worker && wn == r.nth && r.fired.CompareAndSwap(false, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossPipe is the worker-process injection point for outbound wire
+// frames: the frame writer calls it before writing each frame. It returns
+// the stall to sleep (while holding the writer, so heartbeats starve) and
+// whether the frame must be written truncated followed by process exit.
+// A nil receiver reports no faults.
+func (in *Injector) CrossPipe(worker int) (stall time.Duration, truncate bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.siteCounts[PipeFrame].Add(1)
+	var wn int64
+	if worker >= 0 && worker < len(in.pipeFrames) {
+		wn = in.pipeFrames[worker].Add(1)
+	}
+	for _, r := range in.rules {
+		if r.fired.Load() || r.worker != worker || r.nth != wn {
+			continue
+		}
+		switch r.act {
+		case actStall:
+			if r.fired.CompareAndSwap(false, true) {
+				stall = r.delay
+			}
+		case actTruncate:
+			if r.fired.CompareAndSwap(false, true) {
+				truncate = true
+			}
+		}
+	}
+	return stall, truncate
 }
 
 // Fired reports how many of the plan's rules have fired so far — tests

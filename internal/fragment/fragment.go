@@ -11,10 +11,13 @@
 package fragment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 
 	"gfd/internal/graph"
+	"gfd/internal/store"
 )
 
 // Strategy selects how nodes are assigned to fragments.
@@ -28,6 +31,49 @@ const (
 	// (synthetic communities land together) and yields fewer border nodes.
 	Range
 )
+
+// String names the strategy — the form shard manifests record.
+func (s Strategy) String() string {
+	if s == Range {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseStrategy is the inverse of Strategy.String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "hash":
+		return Hash, nil
+	case "range":
+		return Range, nil
+	}
+	return Hash, fmt.Errorf("fragment: unknown strategy %q", name)
+}
+
+// Owner returns the fragment index strategy s assigns to node v in an
+// n-way partition of numNodes nodes. This is the pure assignment formula
+// behind Partition, exported so the distributed coordinator can reproduce
+// shard ownership from a manifest (strategy, numNodes, n) without
+// re-partitioning — the same triple must always map a node to the same
+// shard, or halo shipping and unit reassignment would disagree about who
+// owns what.
+func Owner(s Strategy, v graph.NodeID, numNodes, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	switch s {
+	case Range:
+		per := (numNodes + n - 1) / n
+		owner := int(v) / max(per, 1)
+		if owner >= n {
+			owner = n - 1
+		}
+		return owner
+	default:
+		return hashNode(v) % n
+	}
+}
 
 // Fragmentation is an n-way partition of a graph's nodes.
 type Fragmentation struct {
@@ -56,18 +102,8 @@ func Partition(g *graph.Graph, n int, s Strategy) *Fragmentation {
 	for i := 0; i < n; i++ {
 		f.frags = append(f.frags, &Fragment{ID: i, byLabel: make(map[string][]graph.NodeID)})
 	}
-	per := (g.NumNodes() + n - 1) / n
 	for v := 0; v < g.NumNodes(); v++ {
-		var owner int
-		switch s {
-		case Range:
-			owner = v / max(per, 1)
-			if owner >= n {
-				owner = n - 1
-			}
-		default:
-			owner = hashNode(graph.NodeID(v)) % n
-		}
+		owner := Owner(s, graph.NodeID(v), g.NumNodes(), n)
 		f.Owner[v] = owner
 		fr := f.frags[owner]
 		id := graph.NodeID(v)
@@ -178,4 +214,83 @@ func (f *Fragmentation) BlockShipBytes(block []graph.NodeID, dst int) int64 {
 
 func (f *Fragmentation) String() string {
 	return fmt.Sprintf("fragmentation(n=%d, cut=%d)", f.N, f.CutEdges())
+}
+
+// SaveShards persists the fragmentation as one .gfds file per fragment,
+// named <prefix>.<i>.gfds under dir, and returns the paths in fragment
+// order. Each shard is a *full-width* snapshot: the complete node, label,
+// class, and symbol tables of the source graph (so NodeIDs, Sym codes, and
+// candidate classes are global — identical on every shard), with attribute
+// tuples only for owned nodes and adjacency restricted to edges incident
+// to an owned endpoint. Keeping the symbol table global is what makes
+// match enumeration order reproducible across shards, which the
+// distributed runtime's skip-count retry dedupe relies on; the per-shard
+// cost is one Sym per non-owned node and empty offset ranges, a few bytes
+// a node.
+//
+// Shards are built by filtering the frozen snapshot's flat image and
+// re-adopting it — no per-shard graph rebuild, no snapshot builds beyond
+// the source freeze.
+func (f *Fragmentation) SaveShards(ctx context.Context, dir, prefix string) ([]string, error) {
+	return SaveShards(ctx, f.G.Freeze(), f.Owner, f.N, dir, prefix)
+}
+
+// SaveShards is the snapshot-level form of Fragmentation.SaveShards: owner
+// maps each NodeID to its fragment in [0,n).
+func SaveShards(ctx context.Context, snap *graph.Snapshot, owner []int, n int, dir, prefix string) ([]string, error) {
+	if n < 1 {
+		n = 1
+	}
+	full := snap.Flat()
+	numNodes := len(full.Labels)
+	if len(owner) != numNodes {
+		return nil, fmt.Errorf("fragment: owner table covers %d nodes, snapshot has %d", len(owner), numNodes)
+	}
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ff := graph.Flat{
+			Names:    full.Names,
+			Labels:   full.Labels,
+			ClassOff: full.ClassOff,
+			Classes:  full.Classes,
+			AttrOff:  make([]int32, numNodes+1),
+			OutOff:   make([]int32, numNodes+1),
+			InOff:    make([]int32, numNodes+1),
+		}
+		for v := 0; v < numNodes; v++ {
+			owned := owner[v] == i
+			if owned {
+				ff.AttrPairs = append(ff.AttrPairs, full.AttrPairs[full.AttrOff[v]:full.AttrOff[v+1]]...)
+			}
+			ff.AttrOff[v+1] = int32(len(ff.AttrPairs))
+			// An edge belongs to shard i iff either endpoint is owned; in
+			// both CSR directions e.To is the *other* endpoint, so the same
+			// filter keeps the two arenas consistent (and equally sized).
+			for _, e := range full.Out[full.OutOff[v]:full.OutOff[v+1]] {
+				if owned || owner[e.To] == i {
+					ff.Out = append(ff.Out, e)
+				}
+			}
+			ff.OutOff[v+1] = int32(len(ff.Out))
+			for _, e := range full.In[full.InOff[v]:full.InOff[v+1]] {
+				if owned || owner[e.To] == i {
+					ff.In = append(ff.In, e)
+				}
+			}
+			ff.InOff[v+1] = int32(len(ff.In))
+		}
+		shard, err := graph.AdoptFlat(ff)
+		if err != nil {
+			return nil, fmt.Errorf("fragment: shard %d image invalid: %w", i, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.%d.gfds", prefix, i))
+		if err := store.Save(ctx, shard, path); err != nil {
+			return nil, err
+		}
+		paths[i] = path
+	}
+	return paths, nil
 }

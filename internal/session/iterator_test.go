@@ -240,3 +240,43 @@ func TestViolationsPartialError(t *testing.T) {
 		t.Fatalf("census inconsistent with two worker deaths: %+v", c)
 	}
 }
+
+// TestViolationsDistErrorBeforeFirstEmission: the distributed engine
+// failing before anything is emitted — here a manifest that does not
+// exist, the same shape as a spawn refusal or a fleet that never
+// handshakes — must surface through the iterator as exactly one yielded
+// error, after which the pipeline (engine goroutine, lanes, forwarders)
+// is fully unwound. This is the PipeSink early-shutdown path the dist
+// violation-return route reuses.
+func TestViolationsDistErrorBeforeFirstEmission(t *testing.T) {
+	g, set := minedWorkload(t, 5)
+	prep, err := mustOpen(t, g).Prepare(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	opt := validate.Options{
+		Engine: validate.EngineDistributed,
+		Dist:   &validate.DistOptions{ManifestPath: t.TempDir() + "/absent.manifest"},
+	}
+	var finalErr error
+	n := 0
+	for v, err := range prep.Violations(context.Background(), opt) {
+		if err != nil {
+			if finalErr != nil {
+				t.Fatalf("error yielded twice: %v then %v", finalErr, err)
+			}
+			finalErr = err
+			continue
+		}
+		n++
+		_ = v
+	}
+	if finalErr == nil {
+		t.Fatal("missing manifest produced no error")
+	}
+	if n != 0 {
+		t.Fatalf("erroring engine still delivered %d violations", n)
+	}
+	waitGoroutines(t, before)
+}

@@ -42,6 +42,7 @@ import (
 
 	"gfd/internal/baseline"
 	"gfd/internal/core"
+	"gfd/internal/dist"
 	"gfd/internal/fragment"
 	"gfd/internal/graph"
 	"gfd/internal/incremental"
@@ -386,6 +387,8 @@ func (p *Prepared) run(ctx context.Context, opt validate.Options, sink validate.
 		return single(p.set.Len(), n, sink, func(s validate.Sink) error {
 			return baseline.DetectJoinsB(ctx, b, rel, n, s)
 		})
+	case validate.EngineDistributed:
+		return dist.DetectB(ctx, b, opt, sink)
 	}
 	return nil, errors.New("session: unknown engine")
 }

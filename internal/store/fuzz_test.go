@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gfd/internal/fragment"
 	"gfd/internal/graph"
 	"gfd/internal/store"
 )
@@ -41,6 +42,30 @@ func FuzzDecode(f *testing.F) {
 	f.Add(good[:17])
 	f.Add([]byte("GFDS"))
 	f.Add([]byte{})
+	// Shard-sized degenerates: an empty fragment shard (full node table,
+	// zero-length attribute and adjacency sections — what the distributed
+	// runtime writes for a fragment owning nothing) and the zero-node
+	// snapshot. Seeding them puts the fuzzer right at the zero-length
+	// section edges.
+	shardPaths, err := fragment.SaveShards(context.Background(), g.Freeze(),
+		make([]int, g.NumNodes()), 2, f.TempDir(), "shard")
+	if err != nil {
+		f.Fatal(err)
+	}
+	emptyShard, err := os.ReadFile(shardPaths[1])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(emptyShard)
+	zeroNode := filepath.Join(f.TempDir(), "zero.gfds")
+	if err := store.Save(context.Background(), graph.New(0, 0).Freeze(), zeroNode); err != nil {
+		f.Fatal(err)
+	}
+	zn, err := os.ReadFile(zeroNode)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zn)
 	for _, mut := range []func([]byte){
 		func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 2) },         // future version
 		func(b []byte) { binary.LittleEndian.PutUint32(b[12:16], 64) },      // count high

@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gfd/internal/fragment"
 	"gfd/internal/graph"
 	"gfd/internal/store"
 )
@@ -333,5 +334,95 @@ func TestSaveNilSnapshot(t *testing.T) {
 func TestOpenMissingFile(t *testing.T) {
 	if _, err := store.Open(context.Background(), filepath.Join(t.TempDir(), "absent.gfds")); err == nil {
 		t.Fatal("Open accepted a missing file")
+	}
+}
+
+// TestRoundTripEmptyFragmentShard covers the shard-sized degenerate the
+// distributed runtime produces: a fragment that owns no nodes at all.
+// Its .gfds still carries the full node, label, class, and symbol tables
+// (shards are full-width so NodeIDs and Sym codes stay global), but the
+// attribute arena and both CSR edge arenas are zero-length sections — the
+// file must round-trip through Save/Open instead of erroring on the
+// zero-length section views, and every truncation of it must come back
+// as a typed error.
+func TestRoundTripEmptyFragmentShard(t *testing.T) {
+	g := randomGraph(23, 30, 90)
+	full := g.Freeze()
+	// Every node owned by shard 0 of 3: shards 1 and 2 own nothing and
+	// carry no attrs and no edges.
+	owner := make([]int, g.NumNodes())
+	dir := t.TempDir()
+	paths, err := fragment.SaveShards(context.Background(), full, owner, 3, dir, "g")
+	if err != nil {
+		t.Fatalf("SaveShards: %v", err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("SaveShards wrote %d shards, want 3", len(paths))
+	}
+
+	// Shard 0 holds everything: its image must equal the source freeze.
+	l0, err := store.Open(context.Background(), paths[0])
+	if err != nil {
+		t.Fatalf("Open(full shard): %v", err)
+	}
+	defer l0.Close()
+	flatEqual(t, l0.Snapshot().Flat(), full.Flat())
+
+	for _, p := range paths[1:] {
+		l, err := store.Open(context.Background(), p)
+		if err != nil {
+			t.Fatalf("Open(empty shard %s): %v", p, err)
+		}
+		s := l.Snapshot()
+		if s.NumNodes() != g.NumNodes() {
+			t.Fatalf("empty shard holds %d nodes, want full table of %d", s.NumNodes(), g.NumNodes())
+		}
+		if got, want := s.Syms().Len(), full.Syms().Len(); got != want {
+			t.Fatalf("empty shard symbol table has %d codes, want global %d", got, want)
+		}
+		for v := 0; v < s.NumNodes(); v++ {
+			id := graph.NodeID(v)
+			if s.Label(id) != full.Label(id) {
+				t.Fatalf("empty shard relabeled node %d", v)
+			}
+			if len(s.AttrPairs(id)) != 0 || len(s.Out(id)) != 0 || len(s.In(id)) != 0 {
+				t.Fatalf("empty shard carries data for node %d", v)
+			}
+		}
+		l.Close()
+	}
+
+	// The zero-length-section file joins the corruption matrix: every
+	// strict prefix must be rejected with a typed error, never accepted
+	// or panicked on.
+	empty, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(empty); cut += 1 + cut/16 {
+		if _, err := store.Decode(empty[:cut]); err == nil {
+			t.Fatalf("accepted %d-byte prefix of a %d-byte empty shard", cut, len(empty))
+		} else if !errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrVersion) {
+			t.Fatalf("prefix %d: untyped error %v", cut, err)
+		}
+	}
+
+	// A zero-node source graph degenerates every shard to the zero-node
+	// snapshot; those must round-trip too (the gfdgen -fragments path on
+	// a pathological input).
+	eg := graph.New(0, 0)
+	eps, err := fragment.SaveShards(context.Background(), eg.Freeze(), nil, 2, dir, "e")
+	if err != nil {
+		t.Fatalf("SaveShards(zero-node): %v", err)
+	}
+	for _, p := range eps {
+		l, err := store.Open(context.Background(), p)
+		if err != nil {
+			t.Fatalf("Open(zero-node shard %s): %v", p, err)
+		}
+		if n := l.Snapshot().NumNodes(); n != 0 {
+			t.Fatalf("zero-node shard loaded with %d nodes", n)
+		}
+		l.Close()
 	}
 }

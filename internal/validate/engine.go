@@ -76,6 +76,11 @@ type Options struct {
 	// violations ahead of the consumer before blocking. 0 normalizes to
 	// DefaultStreamBuffer; the collect and callback sinks ignore it.
 	StreamBuffer int
+
+	// Dist configures EngineDistributed (internal/dist): where the shard
+	// manifest lives and how worker processes are supervised. Ignored by
+	// every other engine; nil with EngineDistributed is an error.
+	Dist *DistOptions
 }
 
 // Retry configures the parallel engines' unit retry policy: a unit may be

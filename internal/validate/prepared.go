@@ -35,6 +35,10 @@ const (
 	EngineGCFD
 	// EngineBigDansing is the relational-join baseline of Exp-5.
 	EngineBigDansing
+	// EngineDistributed is the real shared-nothing runtime (internal/dist):
+	// per-fragment worker processes over persisted .gfds shards, selected
+	// through Options.Dist.
+	EngineDistributed
 )
 
 // String names the engine as the paper does.
@@ -52,6 +56,8 @@ func (e Engine) String() string {
 		return "gcfd"
 	case EngineBigDansing:
 		return "bigdansing"
+	case EngineDistributed:
+		return "dist"
 	}
 	return "unknown"
 }

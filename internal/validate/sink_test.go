@@ -1,0 +1,109 @@
+package validate
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count returns to at most base,
+// dumping stacks on timeout. Forwarder shutdown is asynchronous (the
+// merger goroutine closes Out after the lanes drain), so the check must
+// tolerate a scheduling delay without tolerating a leak.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", base, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPipeSinkProducerErrorBeforeFirstEmission pins the forwarder
+// shutdown path the distributed violation-return route relies on: an
+// engine that fails before emitting anything (a bad manifest, a spawn
+// refusal, a worker fleet that never handshakes) closes the sink with
+// every lane still empty. Out must still close — the consumer's range
+// loop must terminate so the error can be yielded — and every forwarder
+// goroutine must exit.
+func TestPipeSinkProducerErrorBeforeFirstEmission(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pipe := NewPipeSink(ctx, 4, 8)
+	errEngine := errors.New("engine failed before first emission")
+	done := make(chan error, 1)
+	go func() {
+		// The engine errors without ever calling Emit; the owner closes
+		// the sink after the engine returns, exactly as the session's
+		// iterator goroutine does.
+		pipe.Close()
+		done <- errEngine
+	}()
+
+	got := 0
+	for range pipe.Out() {
+		got++
+	}
+	if got != 0 {
+		t.Fatalf("drained %d violations from an engine that emitted none", got)
+	}
+	if err := <-done; !errors.Is(err, errEngine) {
+		t.Fatalf("engine error lost: %v", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipeSinkProducerErrorAfterCancel is the same shutdown under a dead
+// run context — the coordinator path when every worker process dies
+// pre-assignment. Emit's contract after cancellation is that it cannot
+// wedge: a single Emit may still win the select race against a lane with
+// buffer space, but repeated emissions must refuse promptly instead of
+// blocking forever, and Close must still release the forwarders and
+// close Out.
+func TestPipeSinkProducerErrorAfterCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	pipe := NewPipeSink(ctx, 4, 1)
+	cancel()
+	refused := false
+	for i := 0; i < 256 && !refused; i++ {
+		refused = !pipe.Emit(0, Violation{})
+	}
+	if !refused {
+		t.Fatal("Emit never refused on a cancelled sink")
+	}
+	pipe.Close()
+	for range pipe.Out() {
+		// Post-cancel leftovers that beat the forwarders' discard are
+		// permitted; the drain just has to terminate.
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPipeSinkAbandonedConsumerAfterError: the consumer saw the engine
+// fail and never ranges Out at all (the iterator yields the error and
+// returns). With buffered lanes below capacity, Close alone must unwind
+// the forwarders — shutdown must not require a drain when everything
+// buffered fits in the merged channel.
+func TestPipeSinkAbandonedConsumerAfterError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pipe := NewPipeSink(ctx, 2, 8)
+	if !pipe.Emit(0, Violation{Rule: "r"}) {
+		t.Fatal("Emit refused on a live sink")
+	}
+	cancel() // consumer abandons: run context dies, Out is never ranged
+	pipe.Close()
+	waitGoroutines(t, before)
+}
